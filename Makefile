@@ -1,0 +1,20 @@
+# Convenience targets for the PortLand reproduction.
+
+.PHONY: install test bench examples lint-clean all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+all: install test bench

@@ -1,0 +1,90 @@
+"""Fig. 14 — control traffic to the fabric manager vs. fabric size.
+
+The paper estimates the ARP control load on the fabric manager as the
+fabric scales to 27,648 hosts, each issuing 25 (and 100) ARP misses per
+second, and concludes a commodity NIC handles it.
+
+Here the per-request control cost is *measured* on real (simulated)
+fabrics of increasing size — every ARP miss becomes an actual
+ArpQuery/ArpResponse exchange in wire bytes on the control network —
+then the paper's host-count sweep is reproduced from the measured
+per-request byte cost (the load is exactly linear in request rate, as
+the measurement across three fabric sizes confirms).
+"""
+
+from common import converged_portland, print_header, run_once, save_results
+
+from repro.metrics.tables import format_table
+from repro.workloads.arp_workload import ArpStorm
+
+PER_HOST_RATE = 25.0
+MEASURE_S = 1.0
+#: The paper's sweep.
+PAPER_HOSTS = (128, 1024, 4096, 16384, 27648)
+
+
+def measure_fabric(seed: int, k: int):
+    fabric = converged_portland(seed, k=k, carrier=True)
+    sim = fabric.sim
+    fm = fabric.fabric_manager
+    hosts = fabric.host_list()
+    rx0, tx0 = fm.bytes_received, fm.bytes_sent
+    q0 = fm.arp_queries
+    storm = ArpStorm(sim, hosts, PER_HOST_RATE, sim.random.stream("fig14"))
+    storm.start()
+    start = sim.now
+    sim.run(until=start + MEASURE_S)
+    storm.stop()
+    queries = fm.arp_queries - q0
+    total_bytes = (fm.bytes_received - rx0) + (fm.bytes_sent - tx0)
+    return len(hosts), queries, total_bytes
+
+
+def test_fig14_fm_control_traffic(benchmark):
+    measured = []
+
+    def run():
+        for k, seed in ((4, 601), (6, 602), (8, 603)):
+            measured.append(measure_fabric(seed, k))
+
+    run_once(benchmark, run)
+
+    rows = []
+    per_request = []
+    for hosts, queries, total_bytes in measured:
+        rate = queries / MEASURE_S
+        mbps = total_bytes * 8 / MEASURE_S / 1e6
+        per_request.append(total_bytes / max(queries, 1))
+        rows.append([hosts, f"{rate:.0f}", f"{mbps:.2f}",
+                     f"{total_bytes / max(queries, 1):.0f}"])
+
+    print_header("FIG 14 (measured) - fabric-manager control traffic, "
+                 f"{PER_HOST_RATE:.0f} ARPs/sec/host")
+    print(format_table(
+        ["hosts", "ARP queries/s", "control Mb/s", "bytes/request"], rows))
+
+    cost = sum(per_request) / len(per_request)
+    paper_rows = []
+    for hosts in PAPER_HOSTS:
+        for rate in (25, 100):
+            mbps = hosts * rate * cost * 8 / 1e6
+            paper_rows.append([hosts, rate, f"{mbps:.0f}"])
+    print()
+    print(format_table(
+        ["hosts", "ARPs/s/host", "projected control Mb/s"],
+        paper_rows,
+        title=("FIG 14 (projected to the paper's sweep, from the measured "
+               f"per-request cost of {cost:.0f} wire bytes)"),
+    ))
+    print("\npaper's point: even at 27,648 hosts x 100 ARPs/s the control"
+          " load fits comfortably on commodity NICs.")
+
+    save_results("fig14_fm_control_traffic",
+                 {"measured": measured, "bytes_per_request": cost})
+    # Shape assertions: per-request cost is constant (linear scaling) and
+    # the full-scale projection stays below ~10 Gb/s.
+    assert max(per_request) / min(per_request) < 1.3
+    worst = PAPER_HOSTS[-1] * 100 * cost * 8
+    assert worst < 10e9
+    # And at the paper's 25 ARPs/s operating point: under ~2 Gb/s.
+    assert PAPER_HOSTS[-1] * 25 * cost * 8 < 2e9

@@ -1,0 +1,94 @@
+"""Simulator micro-benchmarks — the substrate's own performance.
+
+Not a paper artifact: these measure the discrete-event kernel and the
+switch fast path so regressions in the simulation substrate (which
+every experiment stands on) are visible. Real repeated-round
+pytest-benchmark measurements, unlike the single-shot experiment
+harnesses.
+"""
+
+from common import print_header
+
+from repro.net import AppData, EthernetFrame, IPv4Packet, UdpDatagram, mac
+from repro.net.addresses import IPv4Address
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.net.ipv4 import IPPROTO_UDP
+from repro.sim import Simulator
+from repro.switching.flow_table import (
+    FlowTable,
+    Match,
+    Output,
+    SelectByHash,
+    flow_hash,
+    mac_prefix_mask,
+)
+
+EVENTS = 20_000
+
+
+def test_kernel_event_throughput(benchmark):
+    def run():
+        sim = Simulator()
+
+        def chain(remaining: int) -> None:
+            if remaining:
+                sim.schedule(1e-6, chain, remaining - 1)
+
+        sim.schedule(0.0, chain, EVENTS)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run)
+    assert executed == EVENTS + 1
+    rate = EVENTS / benchmark.stats.stats.mean
+    print_header(f"KERNEL - {rate:,.0f} events/second "
+                 "(schedule + heap pop + dispatch)")
+    assert rate > 100_000  # sanity floor for every experiment's runtime
+
+
+def _pmac_style_table() -> FlowTable:
+    """A realistic PortLand edge table: intercepts, hosts, prefixes."""
+    table = FlowTable()
+    table.install(Match(ethertype=0x0806), (Output(9),), 500, "arp")
+    for i in range(2):
+        table.install(Match(eth_dst=mac(f"00:03:00:0{i}:00:00")),
+                      (Output(i),), 400, f"host{i}")
+    table.install(Match(eth_dst=mac("00:03:00:00:00:00"),
+                        eth_dst_mask=mac_prefix_mask(24)), (), 200, "drop")
+    table.install(Match(), (SelectByHash((2, 3)),), 100, "up")
+    return table
+
+
+def test_flow_table_lookup_rate(benchmark):
+    table = _pmac_style_table()
+    frame = EthernetFrame(mac("00:07:00:01:00:00"), mac("00:03:00:00:00:00"),
+                          ETHERTYPE_IPV4, AppData(64))
+
+    def run():
+        entry = None
+        for _ in range(1000):
+            entry = table.lookup(frame, 0)
+        return entry
+
+    entry = benchmark(run)
+    assert entry is not None and entry.name == "up"
+    rate = 1000 / benchmark.stats.stats.mean
+    print_header(f"FLOW TABLE - {rate:,.0f} lookups/second on a "
+                 f"{len(table)}-entry PortLand edge table")
+
+
+def test_flow_hash_rate(benchmark):
+    packet = IPv4Packet(IPv4Address(1), IPv4Address(2), IPPROTO_UDP,
+                        UdpDatagram(1234, 80, AppData(64)))
+    frame = EthernetFrame(mac("00:07:00:01:00:00"), mac("00:03:00:00:00:00"),
+                          ETHERTYPE_IPV4, packet)
+
+    def run():
+        h = 0
+        for _ in range(1000):
+            h = flow_hash(frame)
+        return h
+
+    benchmark(run)
+    rate = 1000 / benchmark.stats.stats.mean
+    print_header(f"ECMP HASH - {rate:,.0f} five-tuple hashes/second")

@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each benchmark regenerates one table or figure of the PortLand paper:
+it runs the experiment inside ``benchmark.pedantic`` (so
+``pytest benchmarks/ --benchmark-only`` times one full run), prints the
+same rows/series the paper reports, and asserts the *shape* of the
+result (who wins, by roughly what factor) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+from repro import LinkParams, Simulator, build_portland_fabric
+from repro.topology.builder import PortlandFabric
+
+
+def converged_portland(seed: int, k: int = 4, carrier: bool = False,
+                       tree=None) -> PortlandFabric:
+    """A fully discovered + registered PortLand fabric."""
+    sim = Simulator(seed=seed)
+    fabric = build_portland_fabric(
+        sim, k=k, link_params=LinkParams(carrier_detect=carrier), tree=tree)
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    return fabric
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def save_results(name: str, payload: dict) -> None:
+    """Persist a bench's data as ``results/<name>.json``.
+
+    The printed tables are for humans; this is the machine-readable copy
+    (plotting scripts, regression tracking). Best-effort: an unwritable
+    directory must never fail a benchmark.
+    """
+    import json
+    from pathlib import Path
+
+    try:
+        out_dir = Path(__file__).parent.parent / "results"
+        out_dir.mkdir(exist_ok=True)
+        path = out_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    except OSError:
+        pass

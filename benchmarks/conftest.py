@@ -1,0 +1,7 @@
+"""Make ``benchmarks/`` importable as a flat directory and force -s-like
+output so the regenerated tables are visible in the bench log."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

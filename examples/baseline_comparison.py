@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Run the same fat tree under three designs and compare them head-on.
+
+PortLand vs. flat layer 2 (learning switches + spanning tree) vs.
+layer 3 (link-state ECMP routers): bring-up time, failure convergence,
+forwarding state, and configuration burden — the quantitative story
+behind the paper's Table 1.
+
+Run:  python examples/baseline_comparison.py   (takes ~a minute)
+"""
+
+from repro import (
+    LinkParams,
+    Simulator,
+    build_l2_fabric,
+    build_l3_fabric,
+    build_portland_fabric,
+)
+from repro.host.apps import UdpStreamReceiver, UdpStreamSender
+from repro.metrics.tables import format_table
+
+K = 4
+FLOW = (0, 12)  # host indices: pod 0 -> pod 3
+
+
+def measure_outage(sim, fabric, rx, fail_link, settle_until, end):
+    fabric.link_between(*fail_link).fail()
+    sim.run(until=end)
+    gap, _s, _e = rx.max_gap(settle_until, end)
+    return gap
+
+
+def run_portland():
+    sim = Simulator(seed=3)
+    fabric = build_portland_fabric(
+        sim, k=K, link_params=LinkParams(carrier_detect=False))
+    fabric.start()
+    bringup = fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    hosts = fabric.host_list()
+    rx = UdpStreamReceiver(hosts[FLOW[1]], 5001)
+    UdpStreamSender(hosts[FLOW[0]], hosts[FLOW[1]].ip, 5001,
+                    rate_pps=1000).start()
+    sim.run(until=1.0)
+    # Cut the destination edge's busiest uplink (worst case: the failure
+    # is remote to the sender, so the fabric manager must intervene).
+    edge = fabric.switches["edge-p3-s0"]
+    uplink = max((2, 3), key=lambda i: edge.ports[i].counters.rx_frames)
+    outage = measure_outage(sim, fabric,
+                            rx, ("edge-p3-s0", f"agg-p3-s{uplink - 2}"),
+                            0.9, 3.0)
+    state = max(len(s.table) + len(s.rewrite_table)
+                for s in fabric.switches.values())
+    return ["PortLand", f"{bringup:.2f}", f"{outage * 1000:.0f} ms",
+            state, 0, "yes"]
+
+
+def run_l2():
+    sim = Simulator(seed=3)
+    fabric = build_l2_fabric(sim, k=K)
+    bringup = fabric.run_until_stp_converged()
+    hosts = fabric.host_list()
+    # Populate MAC tables fabric-wide (one broadcast per host suffices:
+    # floods traverse the spanning tree, every bridge learns the source).
+    for host in hosts:
+        host.gratuitous_arp()
+    sim.run(until=sim.now + 0.5)
+    rx = UdpStreamReceiver(hosts[FLOW[1]], 5001)
+    UdpStreamSender(hosts[FLOW[0]], hosts[FLOW[1]].ip, 5001,
+                    rate_pps=1000).start()
+    start = sim.now
+    sim.run(until=start + 1.0)
+    # Fail the uplink actually carrying the flow into the destination
+    # edge (the spanning tree may run through either one).
+    edge_name = fabric.tree.hosts[FLOW[1]].edge_switch
+    edge = fabric.switches[edge_name]
+    up_ports = [p for p in edge.ports
+                if p.link is not None and p.index >= K // 2]
+    active = max(up_ports, key=lambda p: p.counters.rx_frames)
+    active.link.carrier_detect = False
+    peer = active.peer.node.name
+    outage = measure_outage(sim, fabric, rx, (edge_name, peer),
+                            start + 0.9, start + 61.0)
+    state = max(s.mac_table_size() for s in fabric.switches.values())
+    return ["Flat L2 + STP", f"{bringup:.0f}", f"{outage:.1f} s",
+            state, 0, "yes"]
+
+
+def run_l3():
+    sim = Simulator(seed=3)
+    fabric = build_l3_fabric(sim, k=K,
+                             link_params=LinkParams(carrier_detect=False))
+    fabric.start()
+    bringup = fabric.run_until_converged()
+    hosts = fabric.host_list()
+    rx = UdpStreamReceiver(hosts[FLOW[1]], 5001)
+    UdpStreamSender(hosts[FLOW[0]], hosts[FLOW[1]].ip, 5001,
+                    rate_pps=1000).start()
+    start = sim.now
+    sim.run(until=start + 1.0)
+    edge_name = fabric.tree.hosts[FLOW[1]].edge_switch
+    router = fabric.routers[edge_name]
+    active = max(router._neighbors,
+                 key=lambda i: router.ports[i].counters.rx_frames)
+    peer = router.ports[active].peer.node.name
+    outage = measure_outage(sim, fabric, rx, (edge_name, peer),
+                            start + 0.9, start + 15.0)
+    state = max(r.route_table_size() for r in fabric.routers.values())
+    return ["L3 link-state", f"{bringup:.2f}", f"{outage:.1f} s",
+            state, fabric.total_config_lines(), "no (IP = location)"]
+
+
+def main() -> None:
+    print(f"same k={K} fat tree, three control planes\n")
+    rows = []
+    print("running PortLand ...")
+    rows.append(run_portland())
+    print("running flat L2 + spanning tree ...")
+    rows.append(run_l2())
+    print("running L3 link-state ECMP ...")
+    rows.append(run_l3())
+    print()
+    print(format_table(
+        ["design", "bring-up (s)", "failure outage", "max fwd entries",
+         "config lines", "seamless VM migration"],
+        rows,
+    ))
+    print("\n(the flat-L2 MAC table grows with hosts; PortLand and L3 stay"
+          " O(k) — but only PortLand needs zero configuration and keeps"
+          " host IPs location-independent)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the PortLand reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly.
+
+    Examples: scheduling an event in the past, or running a simulator
+    that has already been stopped.
+    """
+
+
+class CodecError(ReproError):
+    """A packet or message could not be encoded or decoded."""
+
+
+class AddressError(ReproError):
+    """A MAC/IP/PMAC address was malformed or out of range."""
+
+
+class TopologyError(ReproError):
+    """A topology specification is invalid or could not be wired."""
+
+
+class LinkError(ReproError):
+    """A link operation failed (e.g. attaching to an occupied port)."""
+
+
+class SwitchError(ReproError):
+    """A switch pipeline or flow-table operation failed."""
+
+
+class HostError(ReproError):
+    """A host-stack operation failed (socket misuse, bad bind, ...)."""
+
+
+class FabricManagerError(ReproError):
+    """The fabric manager received an invalid request or message."""
+
+
+class ProtocolError(ReproError):
+    """A control protocol (LDP, fabric-manager protocol) violation."""

@@ -1,0 +1,18 @@
+"""End-host stack: ARP, IPv4, UDP, TCP, IGMP, and traffic apps."""
+
+from repro.host.arp_cache import ArpCache
+from repro.host.host import Host
+from repro.host.hypervisor import Hypervisor
+from repro.host.tcp import TcpConnection, TcpListener, TcpStack, TcpState
+from repro.host.udp_socket import UdpSocket
+
+__all__ = [
+    "ArpCache",
+    "Host",
+    "Hypervisor",
+    "TcpConnection",
+    "TcpListener",
+    "TcpStack",
+    "TcpState",
+    "UdpSocket",
+]

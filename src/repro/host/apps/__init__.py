@@ -1,0 +1,17 @@
+"""Application-layer traffic sources and sinks used by the experiments."""
+
+from repro.host.apps.multicast_app import MulticastReceiver, MulticastSender
+from repro.host.apps.pingpong import UdpEchoServer, UdpPinger
+from repro.host.apps.tcp_bulk import TcpBulkSender, TcpSink
+from repro.host.apps.udp_stream import UdpStreamReceiver, UdpStreamSender
+
+__all__ = [
+    "MulticastReceiver",
+    "MulticastSender",
+    "TcpBulkSender",
+    "TcpSink",
+    "UdpEchoServer",
+    "UdpPinger",
+    "UdpStreamReceiver",
+    "UdpStreamSender",
+]

@@ -1,0 +1,61 @@
+"""Multicast sender and receiver apps (Fig. 12 workload)."""
+
+from __future__ import annotations
+
+from repro.host.apps.udp_stream import UdpStreamReceiver
+from repro.host.host import Host
+from repro.net.addresses import IPv4Address
+from repro.net.packet import AppData
+from repro.sim.process import PeriodicTask
+
+
+class MulticastSender:
+    """Streams sequenced datagrams to a multicast group."""
+
+    def __init__(
+        self,
+        host: Host,
+        group: IPv4Address,
+        port: int,
+        rate_pps: float = 1000.0,
+        payload_bytes: int = 64,
+    ) -> None:
+        if not group.is_multicast:
+            raise ValueError(f"{group} is not a multicast group")
+        self.host = host
+        self.group = group
+        self.port = port
+        self.payload_bytes = payload_bytes
+        self.flow_id = f"{host.name}->mc:{group}"
+        self.socket = host.udp_socket()
+        self.next_seq = 0
+        self._task = PeriodicTask(host.sim, 1.0 / rate_pps, self._tick,
+                                  rng_name=f"mcast/{self.flow_id}")
+
+    def start(self, first_delay: float = 0.0) -> None:
+        """Begin streaming to the group."""
+        self._task.start(first_delay)
+
+    def stop(self) -> None:
+        """Stop streaming."""
+        self._task.stop()
+
+    def _tick(self) -> None:
+        payload = AppData(self.payload_bytes, flow_id=self.flow_id,
+                          seq=self.next_seq, sent_at=self.host.sim.now)
+        self.next_seq += 1
+        self.socket.sendto(self.group, self.port, payload)
+
+
+class MulticastReceiver(UdpStreamReceiver):
+    """Joins a group via IGMP and records every delivered datagram."""
+
+    def __init__(self, host: Host, group: IPv4Address, port: int,
+                 rate_bin_s: float = 0.01) -> None:
+        super().__init__(host, port, rate_bin_s)
+        self.group = group
+        host.join_group(group)
+
+    def leave(self) -> None:
+        """Leave the group (emits an IGMP leave)."""
+        self.host.leave_group(self.group)

@@ -1,0 +1,67 @@
+"""UDP request/response ("ping") app for RTT and reachability probes."""
+
+from __future__ import annotations
+
+from repro.host.host import Host
+from repro.net.addresses import IPv4Address
+from repro.net.packet import AppData, Packet
+
+
+class UdpEchoServer:
+    """Echoes every datagram back to its sender."""
+
+    def __init__(self, host: Host, port: int = 7) -> None:
+        self.host = host
+        self.socket = host.udp_socket(port)
+        self.socket.on_datagram = self._on_datagram
+        self.echoed = 0
+
+    def _on_datagram(self, src_ip: IPv4Address, src_port: int,
+                     payload: "Packet | bytes", now: float) -> None:
+        self.echoed += 1
+        self.socket.sendto(src_ip, src_port, payload)
+
+
+class UdpPinger:
+    """Sends probes and records round-trip times."""
+
+    def __init__(self, host: Host, dst_ip: IPv4Address, dst_port: int = 7,
+                 payload_bytes: int = 56) -> None:
+        self.host = host
+        self.dst_ip = dst_ip
+        self.dst_port = dst_port
+        self.payload_bytes = payload_bytes
+        self.socket = host.udp_socket()
+        self.socket.on_datagram = self._on_reply
+        self._outstanding: dict[int, float] = {}
+        self._next_seq = 0
+        #: (seq, rtt) for every answered probe.
+        self.rtts: list[tuple[int, float]] = []
+
+    def ping(self) -> int:
+        """Send one probe; returns its sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._outstanding[seq] = self.host.sim.now
+        payload = AppData(self.payload_bytes, flow_id=f"ping/{self.host.name}",
+                          seq=seq, sent_at=self.host.sim.now)
+        self.socket.sendto(self.dst_ip, self.dst_port, payload)
+        return seq
+
+    def _on_reply(self, src_ip: IPv4Address, src_port: int,
+                  payload: "Packet | bytes", now: float) -> None:
+        if not isinstance(payload, AppData):
+            return
+        sent_at = self._outstanding.pop(payload.seq, None)
+        if sent_at is not None:
+            self.rtts.append((payload.seq, now - sent_at))
+
+    @property
+    def answered(self) -> int:
+        """Probes that came back."""
+        return len(self.rtts)
+
+    @property
+    def lost(self) -> int:
+        """Probes still unanswered."""
+        return len(self._outstanding)

@@ -1,0 +1,86 @@
+"""Bulk TCP transfer apps: a greedy sender and a measuring sink.
+
+Used for the TCP convergence (Fig. 11) and VM migration (Fig. 13)
+timelines: the sink's rate meter is the "throughput vs. time" series the
+paper plots.
+"""
+
+from __future__ import annotations
+
+from repro.host.host import Host
+from repro.host.tcp.connection import TcpConnection
+from repro.net.addresses import IPv4Address
+from repro.sim.stats import RateMeter, TimeSeries
+
+#: Amount the sender keeps queued so the connection is never app-limited.
+REFILL_CHUNK = 4 * 1024 * 1024
+
+
+class TcpBulkSender:
+    """Opens a connection and keeps its send buffer permanently full."""
+
+    def __init__(self, host: Host, dst_ip: IPv4Address, dst_port: int,
+                 total_bytes: int | None = None,
+                 min_rto_s: float | None = None) -> None:
+        self.host = host
+        self.total_bytes = total_bytes
+        self._pushed = 0
+        self.conn: TcpConnection = host.tcp.connect(dst_ip, dst_port,
+                                                    min_rto_s=min_rto_s)
+        self.conn.on_established = self._refill
+        #: (time, snd_una) samples recorded on every refill check — a
+        #: coarse sender-side progress curve.
+        self.progress = TimeSeries(f"{host.name}-progress")
+        self._refill_pending = False
+
+    def _refill(self) -> None:
+        self._refill_pending = False
+        self.progress.record(self.host.sim.now,
+                             float(self.conn.snd_una - self.conn.iss))
+        if self.conn.state.value not in ("ESTABLISHED", "CLOSE_WAIT"):
+            return
+        want = REFILL_CHUNK
+        if self.total_bytes is not None:
+            want = min(want, self.total_bytes - self._pushed)
+        backlog = self.conn.unsent_bytes
+        if want > 0 and backlog < REFILL_CHUNK // 2:
+            self.conn.send(want)
+            self._pushed += want
+        if self.total_bytes is not None and self._pushed >= self.total_bytes:
+            if self.conn.unsent_bytes == 0 and self.conn.flight_size == 0:
+                self.conn.close()
+                return
+        if not self._refill_pending:
+            self._refill_pending = True
+            self.host.sim.schedule(0.01, self._refill)
+
+    @property
+    def acked_bytes(self) -> int:
+        """Bytes the receiver has cumulatively acknowledged."""
+        return self.conn.bytes_acked
+
+
+class TcpSink:
+    """Listens on a port, accepts connections, meters goodput."""
+
+    def __init__(self, host: Host, port: int, rate_bin_s: float = 0.01) -> None:
+        self.host = host
+        self.rate = RateMeter(rate_bin_s, name=f"{host.name}:{port}")
+        self.total_bytes = 0
+        self.connections: list[TcpConnection] = []
+        self.listener = host.tcp.listen(port, self._on_accept)
+
+    def _on_accept(self, conn: TcpConnection) -> None:
+        self.connections.append(conn)
+        conn.on_receive = self._on_receive
+        # A sink has nothing more to say once the sender finishes.
+        conn.on_closed = lambda reason: conn.close()
+
+    def _on_receive(self, nbytes: int, now: float) -> None:
+        self.total_bytes += nbytes
+        self.rate.record(now, nbytes)
+
+    def goodput_series(self, start: float = 0.0,
+                       end: float | None = None) -> list[tuple[float, float]]:
+        """(bin_start, bytes/sec) goodput timeline."""
+        return self.rate.series(start, end, bytes_per_sec=True)

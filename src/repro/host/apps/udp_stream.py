@@ -1,0 +1,109 @@
+"""Constant-bit-rate UDP stream sender and measuring receiver.
+
+This is the workload behind the convergence experiments (Figs. 10 and
+12): a sender emits sequenced datagrams at a fixed rate; the receiver
+records every arrival so the analysis can locate loss windows.
+"""
+
+from __future__ import annotations
+
+from repro.host.host import Host
+from repro.net.addresses import IPv4Address
+from repro.net.packet import AppData, Packet
+from repro.sim.process import PeriodicTask
+from repro.sim.stats import RateMeter
+
+
+class UdpStreamSender:
+    """Sends ``payload_bytes`` datagrams at ``rate_pps`` to one target."""
+
+    def __init__(
+        self,
+        host: Host,
+        dst_ip: IPv4Address,
+        dst_port: int,
+        rate_pps: float = 1000.0,
+        payload_bytes: int = 64,
+        flow_id: str | None = None,
+    ) -> None:
+        if rate_pps <= 0:
+            raise ValueError(f"rate_pps must be positive, got {rate_pps}")
+        self.host = host
+        self.dst_ip = dst_ip
+        self.dst_port = dst_port
+        self.payload_bytes = payload_bytes
+        self.flow_id = flow_id or f"{host.name}->{dst_ip}:{dst_port}"
+        self.socket = host.udp_socket()
+        self.next_seq = 0
+        self._task = PeriodicTask(
+            host.sim, 1.0 / rate_pps, self._tick,
+            jitter=0.0, rng_name=f"udpstream/{self.flow_id}",
+        )
+
+    def start(self, first_delay: float = 0.0) -> None:
+        """Begin streaming after ``first_delay`` seconds."""
+        self._task.start(first_delay)
+
+    def stop(self) -> None:
+        """Stop streaming."""
+        self._task.stop()
+
+    def _tick(self) -> None:
+        payload = AppData(self.payload_bytes, flow_id=self.flow_id,
+                          seq=self.next_seq, sent_at=self.host.sim.now)
+        self.next_seq += 1
+        self.socket.sendto(self.dst_ip, self.dst_port, payload)
+
+
+class UdpStreamReceiver:
+    """Records arrival time and sequence number of every datagram."""
+
+    def __init__(self, host: Host, port: int, rate_bin_s: float = 0.01) -> None:
+        self.host = host
+        self.socket = host.udp_socket(port)
+        self.socket.on_datagram = self._on_datagram
+        #: (arrival_time, seq, one_way_delay) per datagram, in arrival order.
+        self.arrivals: list[tuple[float, int, float]] = []
+        self.rate = RateMeter(rate_bin_s, name=f"{host.name}:{port}")
+        #: Arrivals per flow_id, for multi-flow experiments.
+        self.by_flow: dict[str, list[tuple[float, int]]] = {}
+
+    def _on_datagram(self, src_ip: IPv4Address, src_port: int,
+                     payload: "Packet | bytes", now: float) -> None:
+        if isinstance(payload, AppData):
+            seq = payload.seq
+            delay = now - payload.sent_at
+            self.rate.record(now, payload.length)
+            self.by_flow.setdefault(payload.flow_id, []).append((now, seq))
+        else:
+            seq = -1
+            delay = 0.0
+            self.rate.record(now, len(payload) if payload else 0)
+        self.arrivals.append((now, seq, delay))
+
+    @property
+    def received(self) -> int:
+        """Total datagrams received."""
+        return len(self.arrivals)
+
+    def arrival_times(self) -> list[float]:
+        """All arrival timestamps, in order."""
+        return [t for t, _seq, _d in self.arrivals]
+
+    def max_gap(self, start: float, end: float) -> tuple[float, float, float]:
+        """Largest inter-arrival gap overlapping [start, end).
+
+        Returns ``(gap_length, gap_start, gap_end)``. This is the paper's
+        convergence metric: with a CBR flow, the outage appears as the
+        longest silence at the receiver around the failure instant.
+        """
+        times = [t for t in self.arrival_times() if start <= t < end]
+        if len(times) < 2:
+            return (end - start, start, end)
+        best = (0.0, start, start)
+        edges = [start] + times + [end]
+        for i in range(1, len(edges)):
+            gap = edges[i] - edges[i - 1]
+            if gap > best[0]:
+                best = (gap, edges[i - 1], edges[i])
+        return best

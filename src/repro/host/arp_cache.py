@@ -1,0 +1,58 @@
+"""Host-side ARP cache with entry timeout.
+
+PortLand's scalability argument (Figs. 14–15) hinges on ARP behaviour:
+cache misses become unicast queries to the fabric manager instead of
+fabric-wide broadcasts. The cache itself is the standard host mechanism
+and identical for all designs.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import IPv4Address, MacAddress
+
+#: Default entry lifetime. Linux defaults are in the 30–60 s range.
+DEFAULT_ARP_TIMEOUT_S = 60.0
+
+
+class ArpCache:
+    """IP → MAC mapping with per-entry expiry."""
+
+    def __init__(self, timeout_s: float = DEFAULT_ARP_TIMEOUT_S) -> None:
+        self.timeout_s = timeout_s
+        self._entries: dict[IPv4Address, tuple[MacAddress, float]] = {}
+        #: Cumulative counters for measurement.
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, ip: IPv4Address, now: float) -> MacAddress | None:
+        """Return the cached MAC for ``ip`` or ``None`` if absent/expired."""
+        entry = self._entries.get(ip)
+        if entry is None:
+            self.misses += 1
+            return None
+        mac, learned_at = entry
+        if now - learned_at > self.timeout_s:
+            del self._entries[ip]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return mac
+
+    def insert(self, ip: IPv4Address, mac: MacAddress, now: float) -> None:
+        """Learn (or refresh) a mapping."""
+        self._entries[ip] = (mac, now)
+
+    def invalidate(self, ip: IPv4Address) -> bool:
+        """Forget ``ip``. Returns True if an entry was present."""
+        return self._entries.pop(ip, None) is not None
+
+    def entries(self, now: float) -> dict[IPv4Address, MacAddress]:
+        """A snapshot of all live (non-expired) entries."""
+        return {
+            ip: mac
+            for ip, (mac, learned_at) in self._entries.items()
+            if now - learned_at <= self.timeout_s
+        }

@@ -1,0 +1,79 @@
+"""A hypervisor: several VM endpoints sharing one physical edge port.
+
+This is what the ``vmid`` field of the PMAC exists for (paper §3.2):
+multiple virtual machines — each with its own MAC and IP — reachable
+through a single edge-switch port. The edge agent needs no changes: it
+sees several AMACs on one port and allocates PMACs differing only in
+``vmid``.
+
+The hypervisor itself is a minimal learning vswitch: VM-to-VM traffic
+is bridged locally; everything else goes out the uplink.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.host.host import Host
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.ethernet import EthernetFrame
+from repro.net.link import Link, Port
+from repro.net.node import Node
+from repro.sim.simulator import Simulator
+
+#: Rate of the internal (software) links between VMs and the vswitch —
+#: fast enough that the physical uplink is always the bottleneck.
+INTERNAL_RATE_BPS = 10_000_000_000.0
+INTERNAL_DELAY_S = 1e-7
+
+
+class Hypervisor(Node):
+    """A vswitch with one uplink (port 0) and one port per VM."""
+
+    def __init__(self, sim: Simulator, name: str, num_vm_slots: int) -> None:
+        if num_vm_slots < 1:
+            raise TopologyError(f"{name}: need at least one VM slot")
+        super().__init__(sim, name, num_ports=1 + num_vm_slots)
+        self.vms: list[Host] = []
+        self._mac_table: dict[MacAddress, int] = {}
+
+    @property
+    def uplink(self) -> Port:
+        """The physical port facing the edge switch."""
+        return self.ports[0]
+
+    def add_vm(self, name: str, mac: MacAddress, ip: IPv4Address) -> Host:
+        """Create a VM and wire it to the next free internal port."""
+        slot = len(self.vms) + 1
+        if slot >= len(self.ports):
+            raise TopologyError(f"{self.name}: all VM slots in use")
+        vm = Host(self.sim, name, mac, ip)
+        Link(self.sim, vm.nic, self.ports[slot],
+             rate_bps=INTERNAL_RATE_BPS, delay_s=INTERNAL_DELAY_S,
+             carrier_detect=False)
+        self.vms.append(vm)
+        self._mac_table[mac] = slot
+        return vm
+
+    def receive(self, frame: EthernetFrame, in_port: Port) -> None:
+        if in_port.index != 0:
+            # From a VM: learn (covers migrated-in VMs too).
+            self._mac_table[frame.src] = in_port.index
+        slot = self._mac_table.get(frame.dst)
+        if frame.dst.is_multicast or slot is None:
+            # Broadcast/multicast/unknown: all VMs except ingress, plus
+            # the uplink when the frame came from a VM.
+            for port in self.ports:
+                if port.index == in_port.index or port.link is None:
+                    continue
+                if port.index == 0 and in_port.index == 0:
+                    continue
+                port.send(frame.copy())
+            return
+        if slot == in_port.index:
+            return  # destined back out the ingress: filter
+        self.ports[slot].send(frame)
+
+    def announce_vms(self) -> None:
+        """Gratuitous ARPs from every VM (registers them at the edge)."""
+        for vm in self.vms:
+            vm.gratuitous_arp()

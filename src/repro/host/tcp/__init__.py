@@ -1,0 +1,18 @@
+"""A compact but real TCP: handshake, Reno, RTO per RFC 6298."""
+
+from repro.host.tcp.congestion import DEFAULT_MSS, RenoCongestionControl
+from repro.host.tcp.connection import TcpConnection, TcpState
+from repro.host.tcp.reassembly import ReassemblyBuffer
+from repro.host.tcp.rto import RtoEstimator
+from repro.host.tcp.stack import TcpListener, TcpStack
+
+__all__ = [
+    "DEFAULT_MSS",
+    "ReassemblyBuffer",
+    "RenoCongestionControl",
+    "RtoEstimator",
+    "TcpConnection",
+    "TcpListener",
+    "TcpStack",
+    "TcpState",
+]

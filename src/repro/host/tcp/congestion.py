@@ -1,0 +1,70 @@
+"""TCP Reno congestion control (RFC 5681) with NewReno-style recovery.
+
+Only the *numbers* live here (cwnd, ssthresh); the connection drives the
+transitions. Keeping the arithmetic separate makes it unit-testable and
+lets ablation benchmarks swap in alternative controllers.
+"""
+
+from __future__ import annotations
+
+DEFAULT_MSS = 1460
+#: Initial window per RFC 6928 (≈10 segments), matching modern Linux.
+INITIAL_WINDOW_SEGMENTS = 10
+
+
+class RenoCongestionControl:
+    """cwnd/ssthresh bookkeeping for Reno with fast recovery."""
+
+    def __init__(self, mss: int = DEFAULT_MSS) -> None:
+        self.mss = mss
+        self.cwnd = INITIAL_WINDOW_SEGMENTS * mss
+        self.ssthresh = float("inf")
+        self.in_fast_recovery = False
+        #: Diagnostic counters.
+        self.timeouts = 0
+        self.fast_retransmits = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        """Whether cwnd is still below ssthresh."""
+        return self.cwnd < self.ssthresh
+
+    def on_new_ack(self, acked_bytes: int) -> None:
+        """Grow cwnd for ``acked_bytes`` of newly acknowledged data."""
+        if self.in_fast_recovery:
+            return  # handled by exit_fast_recovery / on_dupack
+        if self.in_slow_start:
+            self.cwnd += min(acked_bytes, self.mss)
+        else:
+            # Congestion avoidance: ~one MSS per RTT.
+            self.cwnd += max(1, self.mss * self.mss // int(self.cwnd))
+
+    def on_timeout(self, flight_size: int) -> None:
+        """RTO expiry: collapse to one segment (RFC 5681 §3.1)."""
+        self.timeouts += 1
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.in_fast_recovery = False
+
+    def enter_fast_recovery(self, flight_size: int) -> None:
+        """Third duplicate ACK: halve and inflate (RFC 5681 §3.2)."""
+        self.fast_retransmits += 1
+        self.ssthresh = max(flight_size // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh + 3 * self.mss
+        self.in_fast_recovery = True
+
+    def on_dupack_in_recovery(self) -> None:
+        """Each further dupack inflates cwnd by one MSS."""
+        if self.in_fast_recovery:
+            self.cwnd += self.mss
+
+    def on_partial_ack(self, acked_bytes: int) -> None:
+        """NewReno partial ACK: deflate by the amount acked."""
+        if self.in_fast_recovery:
+            self.cwnd = max(self.ssthresh, self.cwnd - acked_bytes + self.mss)
+
+    def exit_fast_recovery(self) -> None:
+        """Full ACK: deflate to ssthresh (RFC 6582)."""
+        if self.in_fast_recovery:
+            self.cwnd = int(self.ssthresh)
+            self.in_fast_recovery = False

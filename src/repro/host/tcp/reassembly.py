@@ -1,0 +1,67 @@
+"""Receive-side reassembly: cumulative delivery over out-of-order arrivals.
+
+Payload bytes are synthetic (zeros), so the buffer tracks *ranges* of
+absolute sequence space rather than data. ``offer`` returns how many new
+bytes became deliverable in order, which the connection reports to the
+application.
+"""
+
+from __future__ import annotations
+
+
+class ReassemblyBuffer:
+    """Tracks received sequence ranges above ``rcv_nxt``."""
+
+    def __init__(self, rcv_nxt: int) -> None:
+        self.rcv_nxt = rcv_nxt
+        # Sorted, disjoint, non-adjacent [start, end) ranges, all > rcv_nxt.
+        self._ranges: list[tuple[int, int]] = []
+
+    @property
+    def out_of_order_bytes(self) -> int:
+        """Bytes buffered above the in-order point."""
+        return sum(end - start for start, end in self._ranges)
+
+    def offer(self, seq: int, length: int) -> int:
+        """Accept ``length`` bytes at absolute ``seq``.
+
+        Returns the number of bytes newly delivered in order (``rcv_nxt``
+        advances by exactly this amount). Duplicate and overlapping
+        arrivals are handled.
+        """
+        if length < 0:
+            raise ValueError(f"negative segment length: {length}")
+        start, end = seq, seq + length
+        # Clip anything already delivered.
+        if end <= self.rcv_nxt:
+            return 0
+        start = max(start, self.rcv_nxt)
+        if start < end:
+            self._insert(start, end)
+        return self._advance()
+
+    def _insert(self, start: int, end: int) -> None:
+        merged: list[tuple[int, int]] = []
+        placed = False
+        for r_start, r_end in self._ranges:
+            if r_end < start or end < r_start:
+                if not placed and r_start > end:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((r_start, r_end))
+            else:
+                start = min(start, r_start)
+                end = max(end, r_end)
+        if not placed:
+            merged.append((start, end))
+            merged.sort()
+        self._ranges = merged
+
+    def _advance(self) -> int:
+        delivered = 0
+        while self._ranges and self._ranges[0][0] <= self.rcv_nxt:
+            r_start, r_end = self._ranges.pop(0)
+            if r_end > self.rcv_nxt:
+                delivered += r_end - self.rcv_nxt
+                self.rcv_nxt = r_end
+        return delivered

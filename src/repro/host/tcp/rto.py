@@ -1,0 +1,67 @@
+"""Retransmission-timeout estimation per RFC 6298.
+
+The 200 ms *minimum* RTO matters for reproducing Fig. 11: the paper's
+TCP flow resumes roughly one Linux min-RTO after a failure, because
+fabric convergence (tens of ms) finishes well inside the first timeout.
+"""
+
+from __future__ import annotations
+
+#: Linux's effective minimum RTO, and the constant visible in Fig. 11.
+DEFAULT_MIN_RTO_S = 0.200
+DEFAULT_MAX_RTO_S = 60.0
+#: RFC 6298 initial RTO before any sample.
+DEFAULT_INITIAL_RTO_S = 1.0
+
+_ALPHA = 1 / 8
+_BETA = 1 / 4
+#: Clock granularity term in the RTO formula.
+_GRANULARITY_S = 0.001
+
+
+class RtoEstimator:
+    """Tracks SRTT/RTTVAR and produces the current RTO with backoff."""
+
+    def __init__(
+        self,
+        min_rto_s: float = DEFAULT_MIN_RTO_S,
+        max_rto_s: float = DEFAULT_MAX_RTO_S,
+        initial_rto_s: float = DEFAULT_INITIAL_RTO_S,
+    ) -> None:
+        self.min_rto_s = min_rto_s
+        self.max_rto_s = max_rto_s
+        self.srtt: float | None = None
+        self.rttvar: float | None = None
+        self._base_rto = initial_rto_s
+        self._backoff = 1
+
+    @property
+    def rto(self) -> float:
+        """Current timeout value, including exponential backoff."""
+        return min(self._base_rto * self._backoff, self.max_rto_s)
+
+    def sample(self, rtt: float) -> None:
+        """Feed one round-trip measurement (never from a retransmitted
+        segment — Karn's algorithm is the caller's job)."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample: {rtt}")
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2
+        else:
+            assert self.rttvar is not None
+            self.rttvar = (1 - _BETA) * self.rttvar + _BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - _ALPHA) * self.srtt + _ALPHA * rtt
+        self._base_rto = max(
+            self.min_rto_s,
+            self.srtt + max(_GRANULARITY_S, 4 * self.rttvar),
+        )
+        self._backoff = 1
+
+    def backoff(self) -> None:
+        """Double the timeout after a retransmission timer expiry."""
+        self._backoff = min(self._backoff * 2, 64)
+
+    def reset_backoff(self) -> None:
+        """Clear backoff (on any new ACK progress)."""
+        self._backoff = 1

@@ -1,0 +1,31 @@
+"""32-bit sequence-number arithmetic helpers.
+
+Internally the connection tracks *absolute* 64-bit sequence positions
+(immune to wrap); the wire carries the low 32 bits. ``unwrap`` recovers
+the absolute position of a wire value given a nearby reference.
+"""
+
+from __future__ import annotations
+
+SEQ_MOD = 1 << 32
+_HALF = 1 << 31
+
+
+def wire(seq_abs: int) -> int:
+    """Low 32 bits of an absolute sequence position."""
+    return seq_abs & (SEQ_MOD - 1)
+
+
+def unwrap(seq_wire: int, reference_abs: int) -> int:
+    """Absolute position of ``seq_wire`` closest to ``reference_abs``.
+
+    Works for any offset within ±2^31 of the reference, which is far more
+    than any in-flight window.
+    """
+    base = reference_abs - (reference_abs & (SEQ_MOD - 1))
+    candidate = base + seq_wire
+    if candidate - reference_abs > _HALF:
+        candidate -= SEQ_MOD
+    elif reference_abs - candidate > _HALF:
+        candidate += SEQ_MOD
+    return candidate

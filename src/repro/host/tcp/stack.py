@@ -1,0 +1,132 @@
+"""Per-host TCP stack: demultiplexing, listeners, and connection setup."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import HostError
+from repro.host.tcp.connection import TcpConnection
+from repro.net.addresses import IPv4Address
+from repro.net.ipv4 import IPPROTO_TCP, IPv4Packet
+from repro.net.packet import coerce
+from repro.net.tcp_wire import FLAG_ACK, FLAG_RST, FLAG_SYN, TcpSegment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.host.host import Host
+
+AcceptHandler = Callable[[TcpConnection], None]
+
+
+class TcpListener:
+    """A passive socket: accepts inbound connections on a port."""
+
+    def __init__(self, stack: "TcpStack", port: int,
+                 on_accept: AcceptHandler | None = None,
+                 delayed_ack_s: float | None = None) -> None:
+        self.stack = stack
+        self.port = port
+        self.on_accept = on_accept
+        self.delayed_ack_s = delayed_ack_s
+        self.accepted: list[TcpConnection] = []
+
+    def close(self) -> None:
+        """Stop accepting new connections (existing ones are unaffected)."""
+        self.stack.listeners.pop(self.port, None)
+
+
+class TcpStack:
+    """Owns all TCP state of one host."""
+
+    def __init__(self, host: "Host") -> None:
+        self.host = host
+        self.sim = host.sim
+        self.connections: dict[tuple[int, IPv4Address, int], TcpConnection] = {}
+        self.listeners: dict[int, TcpListener] = {}
+        self._next_port = 33000
+
+    # ------------------------------------------------------------------
+    # Application API
+
+    def connect(self, remote_ip: IPv4Address, remote_port: int,
+                local_port: int | None = None,
+                min_rto_s: float | None = None,
+                delayed_ack_s: float | None = None) -> TcpConnection:
+        """Open an active connection; returns the socket immediately
+        (use ``on_established`` to learn when the handshake completes)."""
+        if local_port is None:
+            local_port = self._alloc_port(remote_ip, remote_port)
+        conn = TcpConnection(self, local_port, remote_ip, remote_port,
+                             min_rto_s=min_rto_s, delayed_ack_s=delayed_ack_s)
+        key = conn.key
+        if key in self.connections:
+            raise HostError(f"{self.host.name}: connection {key} already exists")
+        self.connections[key] = conn
+        conn.open_active()
+        return conn
+
+    def listen(self, port: int, on_accept: AcceptHandler | None = None,
+               delayed_ack_s: float | None = None) -> TcpListener:
+        """Start accepting connections on ``port``. ``delayed_ack_s``
+        applies to every accepted connection."""
+        if port in self.listeners:
+            raise HostError(f"{self.host.name}: TCP port {port} already listening")
+        listener = TcpListener(self, port, on_accept, delayed_ack_s)
+        self.listeners[port] = listener
+        return listener
+
+    # ------------------------------------------------------------------
+    # Wiring used by TcpConnection
+
+    def transmit(self, remote_ip: IPv4Address, segment: TcpSegment) -> None:
+        """Hand a segment to the host's IP layer."""
+        self.host.send_ip(remote_ip, IPPROTO_TCP, segment)
+
+    def forget(self, conn: TcpConnection) -> None:
+        """Remove a closed connection from the demux table."""
+        self.connections.pop(conn.key, None)
+
+    # ------------------------------------------------------------------
+    # Inbound path
+
+    def deliver(self, packet: IPv4Packet) -> None:
+        """Demultiplex an inbound TCP/IP packet."""
+        segment = coerce(packet.payload, TcpSegment)
+        key = (segment.dst_port, packet.src, segment.src_port)
+        conn = self.connections.get(key)
+        if conn is not None:
+            conn.segment_arrives(segment)
+            return
+        listener = self.listeners.get(segment.dst_port)
+        if (listener is not None and segment.flags & FLAG_SYN
+                and not segment.flags & FLAG_ACK):
+            conn = TcpConnection(self, segment.dst_port, packet.src,
+                                 segment.src_port,
+                                 delayed_ack_s=listener.delayed_ack_s)
+            self.connections[key] = conn
+            listener.accepted.append(conn)
+            conn.open_passive(segment)
+            if listener.on_accept is not None:
+                listener.on_accept(conn)
+            return
+        self._send_rst(packet.src, segment)
+
+    def _send_rst(self, remote_ip: IPv4Address, offending: TcpSegment) -> None:
+        if offending.flags & FLAG_RST:
+            return  # never reset a reset
+        if offending.flags & FLAG_ACK:
+            rst = TcpSegment(offending.dst_port, offending.src_port,
+                             seq=offending.ack, ack=0, flags=FLAG_RST, window=0)
+        else:
+            rst = TcpSegment(offending.dst_port, offending.src_port, seq=0,
+                             ack=(offending.seq + offending.seg_len) & 0xFFFFFFFF,
+                             flags=FLAG_RST | FLAG_ACK, window=0)
+        self.transmit(remote_ip, rst)
+
+    def _alloc_port(self, remote_ip: IPv4Address, remote_port: int) -> int:
+        port = self._next_port
+        while (port, remote_ip, remote_port) in self.connections:
+            port += 1
+            if port > 0xFFFF:
+                raise HostError(f"{self.host.name}: TCP ports exhausted")
+        self._next_port = port + 1 if port < 0xFFFF else 33000
+        return port

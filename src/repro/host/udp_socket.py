@@ -1,0 +1,55 @@
+"""UDP socket objects bound to a host stack."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import HostError
+from repro.net.addresses import IPv4Address
+from repro.net.packet import Packet
+from repro.net.udp import UdpDatagram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.host.host import Host
+
+#: Callback signature: (src_ip, src_port, payload, arrival_time).
+DatagramHandler = Callable[[IPv4Address, int, "Packet | bytes", float], None]
+
+EPHEMERAL_PORT_START = 49152
+
+
+class UdpSocket:
+    """A bound UDP endpoint.
+
+    Create via :meth:`repro.host.host.Host.udp_socket`; incoming datagrams
+    for the bound port invoke ``on_datagram``.
+    """
+
+    def __init__(self, host: "Host", port: int) -> None:
+        self._host = host
+        self.port = port
+        self.on_datagram: DatagramHandler | None = None
+        self.closed = False
+        #: Datagrams delivered while no handler was set (useful in tests).
+        self.inbox: list[tuple[IPv4Address, int, "Packet | bytes", float]] = []
+
+    def sendto(self, dst_ip: IPv4Address, dst_port: int, payload: Packet | bytes) -> None:
+        """Send one datagram; triggers ARP resolution when needed."""
+        if self.closed:
+            raise HostError(f"sendto on closed socket {self._host.name}:{self.port}")
+        datagram = UdpDatagram(self.port, dst_port, payload)
+        self._host.send_udp(dst_ip, datagram)
+
+    def close(self) -> None:
+        """Release the port binding."""
+        if not self.closed:
+            self.closed = True
+            self._host.release_udp_port(self.port)
+
+    def deliver(self, src_ip: IPv4Address, src_port: int,
+                payload: "Packet | bytes", now: float) -> None:
+        """Called by the host stack on datagram arrival."""
+        if self.on_datagram is not None:
+            self.on_datagram(src_ip, src_port, payload, now)
+        else:
+            self.inbox.append((src_ip, src_port, payload, now))

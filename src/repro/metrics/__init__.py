@@ -1,0 +1,22 @@
+"""Measurement and reporting helpers."""
+
+from repro.metrics.convergence import (
+    FlowOutage,
+    convergence_time,
+    mean_affected_outage,
+    measure_outages,
+)
+from repro.metrics.tables import format_series, format_table
+
+__all__ = [
+    "FlowOutage",
+    "convergence_time",
+    "format_series",
+    "format_table",
+    "mean_affected_outage",
+    "measure_outages",
+]
+
+from repro.metrics.utilization import LinkUsage, by_layer, imbalance, snapshot, usage_since
+
+__all__ += ["LinkUsage", "by_layer", "imbalance", "snapshot", "usage_since"]

@@ -1,0 +1,92 @@
+"""Convergence measurement — the paper's Figs. 10–12 metric.
+
+With constant-rate flows, an outage shows up as the longest silence in
+a receiver's arrival timeline around the failure instant. Convergence
+time is that silence minus the expected inter-arrival gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.apps.udp_stream import UdpStreamReceiver
+
+
+@dataclass(frozen=True)
+class FlowOutage:
+    """One flow's outage measurement."""
+
+    flow_index: int
+    gap_s: float
+    gap_start: float
+    gap_end: float
+    affected: bool
+
+
+def measure_outages(
+    receivers: list[UdpStreamReceiver],
+    window_start: float,
+    window_end: float,
+    nominal_interval_s: float,
+    affected_factor: float = 5.0,
+) -> list[FlowOutage]:
+    """Per-flow largest gaps in ``[window_start, window_end)``.
+
+    A flow counts as *affected* when its largest gap exceeds
+    ``affected_factor`` nominal inter-arrival intervals — flows whose
+    path did not cross a failed link show only jitter-sized gaps.
+    """
+    outages = []
+    threshold = affected_factor * nominal_interval_s
+    for i, receiver in enumerate(receivers):
+        gap, start, end = receiver.max_gap(window_start, window_end)
+        outages.append(FlowOutage(
+            flow_index=i,
+            gap_s=gap,
+            gap_start=start,
+            gap_end=end,
+            affected=gap > threshold,
+        ))
+    return outages
+
+
+def convergence_time(outages: list[FlowOutage],
+                     nominal_interval_s: float) -> float | None:
+    """The paper's headline number: the worst affected flow's outage,
+    corrected for the sampling interval. ``None`` when no flow was
+    affected (the failure missed all measured paths)."""
+    affected = [o for o in outages if o.affected]
+    if not affected:
+        return None
+    worst = max(o.gap_s for o in affected)
+    return max(0.0, worst - nominal_interval_s)
+
+
+def mean_affected_outage(outages: list[FlowOutage],
+                         nominal_interval_s: float) -> float | None:
+    """Mean outage across affected flows (the figure's other series)."""
+    affected = [o.gap_s - nominal_interval_s for o in outages if o.affected]
+    if not affected:
+        return None
+    return sum(affected) / len(affected)
+
+
+def mean_confidence_interval(samples: list[float],
+                             confidence: float = 0.95) -> tuple[float, float]:
+    """Mean and half-width of its t-distribution confidence interval.
+
+    With a single sample the half-width is reported as 0 (degenerate).
+    """
+    import math
+
+    from scipy import stats as _stats
+
+    if not samples:
+        raise ValueError("no samples")
+    mean = sum(samples) / len(samples)
+    if len(samples) < 2:
+        return mean, 0.0
+    variance = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+    sem = math.sqrt(variance / len(samples))
+    t_crit = _stats.t.ppf((1 + confidence) / 2, df=len(samples) - 1)
+    return mean, t_crit * sem

@@ -1,0 +1,72 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harnesses print the same rows/series the paper reports;
+this keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Sequence[tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series as two aligned columns."""
+    rows = [(f"{x:g}", f"{y:g}") for x, y in points]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_ascii_plot(points: "Sequence[tuple[float, float]]",
+                      height: int = 10, y_label: str = "",
+                      x_label: str = "t (s)") -> str:
+    """Render an (x, y) series as an ASCII time-series plot.
+
+    Used by the benchmark harnesses so the regenerated *figures* look
+    like figures in the log, not just number columns.
+    """
+    if not points:
+        return "(empty series)"
+    ys = [y for _x, y in points]
+    y_max = max(ys) or 1.0
+    lines = []
+    for row in range(height, 0, -1):
+        threshold = y_max * (row - 0.5) / height
+        cells = "".join("#" if y >= threshold else " " for y in ys)
+        label = f"{y_max * row / height:10.1f} |" if row in (height, 1) \
+            else "           |"
+        lines.append(label + cells)
+    lines.append("           +" + "-" * len(points))
+    x_first, x_last = points[0][0], points[-1][0]
+    footer = f"            {x_first:<8.2f}{x_label:^{max(len(points) - 16, 4)}}{x_last:>8.2f}"
+    lines.append(footer)
+    if y_label:
+        lines.insert(0, f"  {y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Link-utilization accounting from port counters.
+
+Answers "where did the bytes go?" for any fabric: per-link byte counts,
+per-layer aggregates (host↔edge, edge↔agg, agg↔core), and utilization
+relative to capacity over a measurement window. Used by the shuffle
+analyses and handy when debugging load imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.link import Link
+
+
+@dataclass(frozen=True)
+class LinkUsage:
+    """Traffic totals for one link (sum of both directions)."""
+
+    name: str
+    a: str
+    b: str
+    bytes_total: int
+    frames_total: int
+
+    def utilization(self, elapsed_s: float, rate_bps: float) -> float:
+        """Mean utilization of the link's total (both-direction)
+        capacity over ``elapsed_s``."""
+        if elapsed_s <= 0 or rate_bps <= 0:
+            return 0.0
+        return (self.bytes_total * 8) / (2 * rate_bps * elapsed_s)
+
+
+def _layer_of(node_name: str) -> str:
+    return node_name.split("-")[0]
+
+
+def snapshot(links: dict[tuple[str, str], Link]) -> dict[tuple[str, str], tuple[int, int]]:
+    """Capture (bytes, frames) per link — diff two snapshots to measure
+    a window."""
+    result = {}
+    for key, link in links.items():
+        tx_bytes = link.a.counters.tx_bytes + link.b.counters.tx_bytes
+        tx_frames = link.a.counters.tx_frames + link.b.counters.tx_frames
+        result[key] = (tx_bytes, tx_frames)
+    return result
+
+
+def usage_since(links: dict[tuple[str, str], Link],
+                baseline: dict[tuple[str, str], tuple[int, int]],
+                ) -> list[LinkUsage]:
+    """Per-link usage since a :func:`snapshot`, descending by bytes."""
+    usages = []
+    for (a, b), link in links.items():
+        now_bytes = link.a.counters.tx_bytes + link.b.counters.tx_bytes
+        now_frames = link.a.counters.tx_frames + link.b.counters.tx_frames
+        base_bytes, base_frames = baseline.get((a, b), (0, 0))
+        usages.append(LinkUsage(
+            name=link.name, a=a, b=b,
+            bytes_total=now_bytes - base_bytes,
+            frames_total=now_frames - base_frames,
+        ))
+    usages.sort(key=lambda u: u.bytes_total, reverse=True)
+    return usages
+
+
+def by_layer(usages: list[LinkUsage]) -> dict[str, int]:
+    """Aggregate bytes per fabric layer.
+
+    Layers are derived from the node-name conventions used by the
+    topology builders (``host-*``, ``edge-*``, ``agg-*``, ``core-*``).
+    """
+    totals: dict[str, int] = {}
+    for usage in usages:
+        layers = tuple(sorted((_layer_of(usage.a), _layer_of(usage.b))))
+        label = "-".join(layers)
+        totals[label] = totals.get(label, 0) + usage.bytes_total
+    return totals
+
+
+def imbalance(usages: list[LinkUsage], layer_pair: str) -> float:
+    """max/mean byte ratio across the links of one layer (1.0 = perfectly
+    balanced). Quantifies how well ECMP spreads load."""
+    selected = [
+        u.bytes_total for u in usages
+        if "-".join(sorted((_layer_of(u.a), _layer_of(u.b)))) == layer_pair
+    ]
+    if not selected or sum(selected) == 0:
+        return 1.0
+    mean = sum(selected) / len(selected)
+    return max(selected) / mean

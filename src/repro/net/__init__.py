@@ -1,0 +1,72 @@
+"""Network substrate: addresses, packet codecs, links, ports, nodes."""
+
+from repro.net.addresses import BROADCAST_MAC, ZERO_MAC, IPv4Address, MacAddress, ip, mac
+from repro.net.arp import ARP_REPLY, ARP_REQUEST, ArpPacket
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.ethernet import (
+    ETHERNET_MTU,
+    ETHERTYPE_ARP,
+    ETHERTYPE_FABRIC,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_LDP,
+    EthernetFrame,
+)
+from repro.net.igmp import IgmpMessage
+from repro.net.ipv4 import (
+    DEFAULT_TTL,
+    IPPROTO_IGMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IPv4Packet,
+)
+from repro.net.link import Link, Port, PortCounters
+from repro.net.node import Node
+from repro.net.packet import AppData, Packet
+from repro.net.tcp_wire import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    TcpSegment,
+)
+from repro.net.udp import UdpDatagram
+
+__all__ = [
+    "ARP_REPLY",
+    "ARP_REQUEST",
+    "AppData",
+    "ArpPacket",
+    "BROADCAST_MAC",
+    "DEFAULT_TTL",
+    "ETHERNET_MTU",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_FABRIC",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_LDP",
+    "EthernetFrame",
+    "FLAG_ACK",
+    "FLAG_FIN",
+    "FLAG_PSH",
+    "FLAG_RST",
+    "FLAG_SYN",
+    "IPPROTO_IGMP",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "IPv4Address",
+    "IPv4Packet",
+    "IgmpMessage",
+    "Link",
+    "MacAddress",
+    "Node",
+    "Packet",
+    "Port",
+    "PortCounters",
+    "TcpSegment",
+    "UdpDatagram",
+    "ZERO_MAC",
+    "internet_checksum",
+    "ip",
+    "mac",
+    "verify_checksum",
+]

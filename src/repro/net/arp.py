@@ -1,0 +1,112 @@
+"""ARP for IPv4-over-Ethernet (RFC 826), plus gratuitous-ARP helpers.
+
+ARP is central to PortLand: edge switches intercept requests and the
+fabric manager answers them with PMACs instead of letting them flood.
+Gratuitous ARP is the invalidation mechanism after VM migration.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CodecError
+from repro.net.addresses import BROADCAST_MAC, ZERO_MAC, IPv4Address, MacAddress
+from repro.net.packet import Packet
+
+ARP_REQUEST = 1
+ARP_REPLY = 2
+
+_HEADER = struct.Struct("!HHBBH")  # htype, ptype, hlen, plen, oper
+_WIRE_LEN = _HEADER.size + 6 + 4 + 6 + 4  # 28 bytes
+
+
+class ArpPacket(Packet):
+    """An ARP request or reply for IPv4 over Ethernet."""
+
+    __slots__ = ("op", "sender_mac", "sender_ip", "target_mac", "target_ip")
+
+    def __init__(
+        self,
+        op: int,
+        sender_mac: MacAddress,
+        sender_ip: IPv4Address,
+        target_mac: MacAddress,
+        target_ip: IPv4Address,
+    ) -> None:
+        if op not in (ARP_REQUEST, ARP_REPLY):
+            raise CodecError(f"bad ARP operation: {op}")
+        self.op = op
+        self.sender_mac = sender_mac
+        self.sender_ip = sender_ip
+        self.target_mac = target_mac
+        self.target_ip = target_ip
+
+    @classmethod
+    def request(cls, sender_mac: MacAddress, sender_ip: IPv4Address,
+                target_ip: IPv4Address) -> "ArpPacket":
+        """A who-has request (target MAC is zero)."""
+        return cls(ARP_REQUEST, sender_mac, sender_ip, ZERO_MAC, target_ip)
+
+    @classmethod
+    def reply(cls, sender_mac: MacAddress, sender_ip: IPv4Address,
+              target_mac: MacAddress, target_ip: IPv4Address) -> "ArpPacket":
+        """An is-at reply."""
+        return cls(ARP_REPLY, sender_mac, sender_ip, target_mac, target_ip)
+
+    @classmethod
+    def gratuitous(cls, mac: MacAddress, ip: IPv4Address) -> "ArpPacket":
+        """A gratuitous ARP announcing ``ip`` is at ``mac``.
+
+        Encoded as an unsolicited reply with sender == target, the form
+        PortLand uses to repoint stale ARP caches after VM migration.
+        """
+        return cls(ARP_REPLY, mac, ip, mac, ip)
+
+    @property
+    def is_gratuitous(self) -> bool:
+        """True for an announcement where sender IP == target IP."""
+        return self.sender_ip == self.target_ip
+
+    def encode(self) -> bytes:
+        header = _HEADER.pack(1, 0x0800, 6, 4, self.op)
+        return (
+            header
+            + self.sender_mac.to_bytes()
+            + self.sender_ip.to_bytes()
+            + self.target_mac.to_bytes()
+            + self.target_ip.to_bytes()
+        )
+
+    def wire_length(self) -> int:
+        return _WIRE_LEN
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ArpPacket":
+        """Parse wire bytes; validates the fixed hardware/protocol fields."""
+        if len(data) < _WIRE_LEN:
+            raise CodecError(f"ARP packet too short: {len(data)} bytes")
+        htype, ptype, hlen, plen, op = _HEADER.unpack_from(data, 0)
+        if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
+            raise CodecError("not an IPv4-over-Ethernet ARP packet")
+        base = _HEADER.size
+        return cls(
+            op=op,
+            sender_mac=MacAddress.from_bytes(data[base : base + 6]),
+            sender_ip=IPv4Address.from_bytes(data[base + 6 : base + 10]),
+            target_mac=MacAddress.from_bytes(data[base + 10 : base + 16]),
+            target_ip=IPv4Address.from_bytes(data[base + 16 : base + 20]),
+        )
+
+    def ethernet_dst(self) -> MacAddress:
+        """Conventional L2 destination: broadcast for requests and
+        gratuitous announcements, unicast for solicited replies."""
+        if self.op == ARP_REQUEST or self.is_gratuitous:
+            return BROADCAST_MAC
+        return self.target_mac
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "request" if self.op == ARP_REQUEST else "reply"
+        return (
+            f"Arp({kind} {self.sender_ip}/{self.sender_mac} -> "
+            f"{self.target_ip}/{self.target_mac})"
+        )

@@ -1,0 +1,113 @@
+"""Ethernet II framing, with optional 802.1Q VLAN tagging.
+
+The frame object is the unit that links carry and switches forward.
+Minimum-frame padding (64-byte frames on the wire) is accounted for in
+``wire_length`` so byte counters match what real hardware would carry;
+the 8-byte preamble and 12-byte inter-frame gap are modelled by
+:class:`repro.net.link.Link` as per-frame overhead, not here.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CodecError
+from repro.net.addresses import MacAddress
+from repro.net.packet import Packet, encode_payload, payload_length
+
+# EtherTypes used in this library. LDP and the fabric-manager protocol are
+# PortLand control protocols; we give them experimental EtherTypes just as
+# the paper's OpenFlow agents would tunnel them.
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+ETHERTYPE_LDP = 0x88B5  # IEEE experimental ethertype 1
+ETHERTYPE_FABRIC = 0x88B6  # IEEE experimental ethertype 2
+
+#: Ethernet header: dst(6) + src(6) + ethertype(2).
+ETHERNET_HEADER_LEN = 14
+#: 802.1Q tag adds 4 bytes.
+VLAN_TAG_LEN = 4
+#: Frame check sequence.
+ETHERNET_FCS_LEN = 4
+#: Minimum frame size on the wire (header + payload + FCS).
+ETHERNET_MIN_FRAME = 64
+#: Conventional MTU for the payload.
+ETHERNET_MTU = 1500
+
+
+class EthernetFrame(Packet):
+    """An Ethernet II frame, optionally 802.1Q-tagged."""
+
+    __slots__ = ("dst", "src", "ethertype", "payload", "vlan")
+
+    def __init__(
+        self,
+        dst: MacAddress,
+        src: MacAddress,
+        ethertype: int,
+        payload: Packet | bytes | None,
+        vlan: int | None = None,
+    ) -> None:
+        if not 0 <= ethertype <= 0xFFFF:
+            raise CodecError(f"ethertype out of range: {ethertype:#x}")
+        if vlan is not None and not 0 <= vlan <= 0xFFF:
+            raise CodecError(f"VLAN id out of range: {vlan}")
+        self.dst = dst
+        self.src = src
+        self.ethertype = ethertype
+        self.payload = payload
+        self.vlan = vlan
+
+    def header_length(self) -> int:
+        """Bytes of framing overhead (header + FCS + any VLAN tag)."""
+        length = ETHERNET_HEADER_LEN + ETHERNET_FCS_LEN
+        if self.vlan is not None:
+            length += VLAN_TAG_LEN
+        return length
+
+    def wire_length(self) -> int:
+        """Frame size on the wire, including minimum-frame padding."""
+        return max(self.header_length() + payload_length(self.payload), ETHERNET_MIN_FRAME)
+
+    def encode(self) -> bytes:
+        """Wire bytes (FCS rendered as four zero bytes; padding applied)."""
+        body = encode_payload(self.payload)
+        if self.vlan is not None:
+            header = self.dst.to_bytes() + self.src.to_bytes()
+            header += struct.pack("!HHH", ETHERTYPE_VLAN, self.vlan, self.ethertype)
+        else:
+            header = self.dst.to_bytes() + self.src.to_bytes()
+            header += struct.pack("!H", self.ethertype)
+        frame = header + body
+        pad = max(0, ETHERNET_MIN_FRAME - ETHERNET_FCS_LEN - len(frame))
+        return frame + b"\x00" * pad + b"\x00" * ETHERNET_FCS_LEN
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EthernetFrame":
+        """Parse header fields; the payload is kept as raw bytes.
+
+        Higher-layer decoding is dispatched by the receiver based on
+        ``ethertype`` (see the host stack). The trailing FCS is stripped.
+        """
+        if len(data) < ETHERNET_HEADER_LEN + ETHERNET_FCS_LEN:
+            raise CodecError(f"frame too short: {len(data)} bytes")
+        dst = MacAddress.from_bytes(data[0:6])
+        src = MacAddress.from_bytes(data[6:12])
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        offset = 14
+        vlan = None
+        if ethertype == ETHERTYPE_VLAN:
+            if len(data) < offset + 4:
+                raise CodecError("truncated VLAN tag")
+            tag, ethertype = struct.unpack_from("!HH", data, offset)
+            vlan = tag & 0xFFF
+            offset += 4
+        body = data[offset : len(data) - ETHERNET_FCS_LEN]
+        return cls(dst=dst, src=src, ethertype=ethertype, payload=body, vlan=vlan)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EthernetFrame({self.src}->{self.dst} type={self.ethertype:#06x}"
+            f" len={self.wire_length()})"
+        )

@@ -1,0 +1,71 @@
+"""IGMPv2 membership messages (RFC 2236), simplified.
+
+PortLand uses the hosts' ordinary IGMP joins/leaves: the edge switch
+forwards them to the fabric manager, which maintains the multicast tree.
+We implement report (join) and leave-group messages; queries are not
+needed because the fabric manager has authoritative state.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CodecError
+from repro.net.addresses import IPv4Address
+from repro.net.checksum import internet_checksum
+from repro.net.packet import Packet
+
+IGMP_MEMBERSHIP_REPORT_V2 = 0x16
+IGMP_LEAVE_GROUP = 0x17
+
+IGMP_LEN = 8
+
+
+class IgmpMessage(Packet):
+    """An IGMPv2 membership report or leave-group message."""
+
+    __slots__ = ("msg_type", "group")
+
+    def __init__(self, msg_type: int, group: IPv4Address) -> None:
+        if msg_type not in (IGMP_MEMBERSHIP_REPORT_V2, IGMP_LEAVE_GROUP):
+            raise CodecError(f"unsupported IGMP type: {msg_type:#x}")
+        if not group.is_multicast:
+            raise CodecError(f"IGMP group {group} is not class D")
+        self.msg_type = msg_type
+        self.group = group
+
+    @classmethod
+    def join(cls, group: IPv4Address) -> "IgmpMessage":
+        """Membership report announcing interest in ``group``."""
+        return cls(IGMP_MEMBERSHIP_REPORT_V2, group)
+
+    @classmethod
+    def leave(cls, group: IPv4Address) -> "IgmpMessage":
+        """Leave-group message for ``group``."""
+        return cls(IGMP_LEAVE_GROUP, group)
+
+    @property
+    def is_join(self) -> bool:
+        """True for a membership report."""
+        return self.msg_type == IGMP_MEMBERSHIP_REPORT_V2
+
+    def wire_length(self) -> int:
+        return IGMP_LEN
+
+    def encode(self) -> bytes:
+        body = struct.pack("!BBH", self.msg_type, 0, 0) + self.group.to_bytes()
+        checksum = internet_checksum(body)
+        return struct.pack("!BBH", self.msg_type, 0, checksum) + self.group.to_bytes()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IgmpMessage":
+        """Parse wire bytes."""
+        if len(data) < IGMP_LEN:
+            raise CodecError(f"IGMP message too short: {len(data)} bytes")
+        msg_type, _mrt, _checksum = struct.unpack_from("!BBH", data, 0)
+        group = IPv4Address.from_bytes(data[4:8])
+        return cls(msg_type, group)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "join" if self.is_join else "leave"
+        return f"IGMP({kind} {self.group})"

@@ -1,0 +1,114 @@
+"""A minimal-but-real IPv4 layer: 20-byte header, TTL, protocol demux.
+
+No options or fragmentation — data-center fabrics run with uniform MTUs
+and none of the reproduced experiments exercise fragmentation.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CodecError
+from repro.net.addresses import IPv4Address
+from repro.net.checksum import internet_checksum
+from repro.net.packet import Packet, encode_payload, payload_length
+
+IPPROTO_ICMP = 1
+IPPROTO_IGMP = 2
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+IPV4_HEADER_LEN = 20
+DEFAULT_TTL = 64
+
+_HEADER = struct.Struct("!BBHHHBBH4s4s")
+
+
+class IPv4Packet(Packet):
+    """An IPv4 packet (no options, DF set, never fragmented)."""
+
+    __slots__ = ("src", "dst", "protocol", "ttl", "ident", "dscp", "payload")
+
+    def __init__(
+        self,
+        src: IPv4Address,
+        dst: IPv4Address,
+        protocol: int,
+        payload: Packet | bytes | None,
+        ttl: int = DEFAULT_TTL,
+        ident: int = 0,
+        dscp: int = 0,
+    ) -> None:
+        if not 0 <= protocol <= 0xFF:
+            raise CodecError(f"bad IP protocol number: {protocol}")
+        if not 0 <= ttl <= 0xFF:
+            raise CodecError(f"bad TTL: {ttl}")
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.ttl = ttl
+        self.ident = ident & 0xFFFF
+        self.dscp = dscp & 0x3F
+        self.payload = payload
+
+    def wire_length(self) -> int:
+        return IPV4_HEADER_LEN + payload_length(self.payload)
+
+    def encode(self) -> bytes:
+        body = encode_payload(self.payload)
+        total_length = IPV4_HEADER_LEN + len(body)
+        header = _HEADER.pack(
+            0x45,  # version 4, IHL 5
+            self.dscp << 2,
+            total_length,
+            self.ident,
+            0x4000,  # flags: DF
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src.to_bytes(),
+            self.dst.to_bytes(),
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", checksum) + header[12:]
+        return header + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IPv4Packet":
+        """Parse header fields; payload is kept as raw bytes."""
+        if len(data) < IPV4_HEADER_LEN:
+            raise CodecError(f"IPv4 packet too short: {len(data)} bytes")
+        (
+            version_ihl,
+            dscp_ecn,
+            total_length,
+            ident,
+            _flags_frag,
+            ttl,
+            protocol,
+            _checksum,
+            src_raw,
+            dst_raw,
+        ) = _HEADER.unpack_from(data, 0)
+        if version_ihl >> 4 != 4:
+            raise CodecError(f"not IPv4 (version={version_ihl >> 4})")
+        ihl_bytes = (version_ihl & 0xF) * 4
+        if ihl_bytes != IPV4_HEADER_LEN:
+            raise CodecError("IPv4 options are not supported")
+        if total_length > len(data):
+            raise CodecError("IPv4 total length exceeds captured bytes")
+        return cls(
+            src=IPv4Address.from_bytes(src_raw),
+            dst=IPv4Address.from_bytes(dst_raw),
+            protocol=protocol,
+            payload=data[IPV4_HEADER_LEN:total_length],
+            ttl=ttl,
+            ident=ident,
+            dscp=dscp_ecn >> 2,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IPv4({self.src}->{self.dst} proto={self.protocol} ttl={self.ttl}"
+            f" len={self.wire_length()})"
+        )

@@ -1,0 +1,293 @@
+"""Ports and full-duplex links with rate, delay, queueing, and failure.
+
+A :class:`Link` joins exactly two :class:`Port` objects and models each
+direction independently: a transmitter serializes frames at the link
+rate (drop-tail queue while busy), then the frame propagates for the
+configured delay and is delivered to the far node.
+
+Failure semantics:
+
+* ``fail()`` stops both directions immediately; frames being serialized
+  or in flight are lost (as on a cut fiber), and queued frames drop.
+* If ``carrier_detect`` is true (default), both endpoints' nodes get
+  ``on_port_down``/``on_port_up`` callbacks, like a PHY loss-of-signal
+  interrupt. Experiments that study *timeout-based* detection (LDP
+  keepalive loss, Fig. 10's worst case) construct links with
+  ``carrier_detect=False`` so failures are silent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.errors import LinkError
+from repro.net.ethernet import EthernetFrame
+from repro.sim.events import PRIORITY_HIGH
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+#: Preamble (8B) + inter-frame gap (12B) charged per frame on the wire.
+PER_FRAME_OVERHEAD_BYTES = 20
+
+#: 1 Gb/s, the paper's testbed link speed.
+DEFAULT_RATE_BPS = 1_000_000_000
+#: A conservative intra-rack propagation delay.
+DEFAULT_DELAY_S = 1e-6
+#: Default drop-tail queue capacity per direction.
+DEFAULT_QUEUE_BYTES = 512 * 1024
+
+
+class PortCounters:
+    """Per-port traffic counters."""
+
+    __slots__ = ("tx_frames", "tx_bytes", "rx_frames", "rx_bytes", "drops")
+
+    def __init__(self) -> None:
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.drops = 0
+
+
+class Port:
+    """One attachment point on a node. At most one link per port."""
+
+    def __init__(self, node: "Node", index: int) -> None:
+        self.node = node
+        self.index = index
+        self.link: Link | None = None
+        self.counters = PortCounters()
+        #: Administrative state; a port can be disabled independently of
+        #: its link (used to model switch-local port shutdown).
+        self.enabled = True
+
+    @property
+    def name(self) -> str:
+        """``<node>[<index>]`` for traces."""
+        return f"{self.node.name}[{self.index}]"
+
+    @property
+    def is_up(self) -> bool:
+        """True when enabled, wired, and the link is not failed."""
+        return self.enabled and self.link is not None and not self.link.failed
+
+    @property
+    def peer(self) -> "Port | None":
+        """The port at the other end of our link, if wired."""
+        if self.link is None:
+            return None
+        return self.link.other_end(self)
+
+    def send(self, frame: EthernetFrame) -> bool:
+        """Transmit ``frame``. Returns False (and counts a drop) when the
+        port is down or the link queue is full."""
+        if not self.enabled or self.link is None:
+            self.counters.drops += 1
+            return False
+        return self.link.transmit(self, frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        wired = "wired" if self.link is not None else "unwired"
+        return f"<Port {self.name} {wired}>"
+
+
+class _Direction:
+    """Transmitter state for one direction of a link."""
+
+    __slots__ = ("queue", "queued_bytes", "transmitting")
+
+    def __init__(self) -> None:
+        self.queue: deque[EthernetFrame] = deque()
+        self.queued_bytes = 0
+        self.transmitting = False
+
+
+class Link:
+    """A full-duplex point-to-point link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Port,
+        b: Port,
+        rate_bps: float = DEFAULT_RATE_BPS,
+        delay_s: float = DEFAULT_DELAY_S,
+        queue_bytes: int = DEFAULT_QUEUE_BYTES,
+        carrier_detect: bool = True,
+        name: str | None = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if a.link is not None or b.link is not None:
+            raise LinkError(f"port already wired: {a if a.link else b}")
+        if a is b:
+            raise LinkError("cannot wire a port to itself")
+        if rate_bps <= 0 or delay_s < 0 or queue_bytes < 0:
+            raise LinkError("invalid link parameters")
+        if not 0.0 <= loss_rate < 1.0:
+            raise LinkError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.queue_bytes = queue_bytes
+        self.carrier_detect = carrier_detect
+        self.failed = False
+        #: Port ids whose *transmit* direction is dead (unidirectional
+        #: failures; see :meth:`fail_direction`).
+        self._failed_tx: set[int] = set()
+        self.name = name or f"{a.name}<->{b.name}"
+        #: Random per-frame drop probability (0 = perfect link).
+        self.loss_rate = loss_rate
+        self._loss_rng = (sim.random.stream(f"link-loss/{self.name}")
+                          if loss_rate > 0 else None)
+        self._dirs: dict[int, _Direction] = {id(a): _Direction(), id(b): _Direction()}
+        a.link = self
+        b.link = self
+        if carrier_detect:
+            # Plugging a cable in asserts carrier at both ends, exactly
+            # like a real NIC/PHY. Agents use this to notice new hosts.
+            self.sim.schedule(0.0, self._notify_up, priority=PRIORITY_HIGH)
+
+    def other_end(self, port: Port) -> Port:
+        """The opposite port of ``port`` on this link."""
+        if port is self.a:
+            return self.b
+        if port is self.b:
+            return self.a
+        raise LinkError(f"{port} is not an endpoint of {self.name}")
+
+    def serialization_time(self, frame: EthernetFrame) -> float:
+        """Seconds to clock ``frame`` (plus preamble/IFG) onto the wire."""
+        bits = (frame.wire_length() + PER_FRAME_OVERHEAD_BYTES) * 8
+        return bits / self.rate_bps
+
+    def transmit(self, src_port: Port, frame: EthernetFrame) -> bool:
+        """Send ``frame`` from ``src_port`` toward the other end."""
+        if self.failed or id(src_port) in self._failed_tx:
+            src_port.counters.drops += 1
+            return False
+        direction = self._dirs[id(src_port)]
+        if direction.transmitting:
+            size = frame.wire_length()
+            if direction.queued_bytes + size > self.queue_bytes:
+                src_port.counters.drops += 1
+                self.sim.trace.emit(
+                    self.sim.now, "link.drop", self.name,
+                    port=src_port.name, reason="queue_full", frame=repr(frame),
+                )
+                return False
+            direction.queue.append(frame)
+            direction.queued_bytes += size
+            return True
+        self._start_transmission(src_port, direction, frame)
+        return True
+
+    def _start_transmission(self, src_port: Port, direction: _Direction,
+                            frame: EthernetFrame) -> None:
+        direction.transmitting = True
+        duration = self.serialization_time(frame)
+        src_port.counters.tx_frames += 1
+        src_port.counters.tx_bytes += frame.wire_length()
+        self.sim.schedule(duration, self._transmission_done, src_port, direction)
+        self.sim.schedule(duration + self.delay_s, self._deliver, src_port, frame)
+
+    def _transmission_done(self, src_port: Port, direction: _Direction) -> None:
+        if self.failed:
+            # fail() already flushed the queue and cleared the flag.
+            return
+        if direction.queue:
+            frame = direction.queue.popleft()
+            direction.queued_bytes -= frame.wire_length()
+            self._start_transmission(src_port, direction, frame)
+        else:
+            direction.transmitting = False
+
+    def _deliver(self, src_port: Port, frame: EthernetFrame) -> None:
+        if self.failed or id(src_port) in self._failed_tx:
+            # The cut happened while the frame was in flight: it is lost.
+            return
+        if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
+            src_port.counters.drops += 1
+            self.sim.trace.emit(self.sim.now, "link.loss", self.name,
+                                port=src_port.name)
+            return
+        dst_port = self.other_end(src_port)
+        if not dst_port.enabled:
+            dst_port.counters.drops += 1
+            return
+        dst_port.counters.rx_frames += 1
+        dst_port.counters.rx_bytes += frame.wire_length()
+        dst_port.node.receive(frame, dst_port)
+
+    def fail(self) -> None:
+        """Cut the link: drop queued and in-flight frames, notify endpoints
+        if carrier detection is on. Idempotent."""
+        if self.failed:
+            return
+        self.failed = True
+        for direction in self._dirs.values():
+            direction.queue.clear()
+            direction.queued_bytes = 0
+            direction.transmitting = False
+        self.sim.trace.emit(self.sim.now, "link.fail", self.name)
+        if self.carrier_detect:
+            # High priority so agents observe the loss before packets that
+            # would otherwise arrive "at the same instant".
+            self.sim.schedule(0.0, self._notify_down, priority=PRIORITY_HIGH)
+
+    def fail_direction(self, src_port: Port) -> None:
+        """Silently kill only the ``src_port`` → peer direction.
+
+        Models a unidirectional failure (bad optics, one-way fibre cut):
+        no carrier event is raised — only the *receiving* side can notice,
+        via protocol keepalive loss. Recover with :meth:`recover`.
+        """
+        if src_port not in (self.a, self.b):
+            raise LinkError(f"{src_port} is not an endpoint of {self.name}")
+        self._failed_tx.add(id(src_port))
+        direction = self._dirs[id(src_port)]
+        direction.queue.clear()
+        direction.queued_bytes = 0
+        direction.transmitting = False
+        self.sim.trace.emit(self.sim.now, "link.fail_direction", self.name,
+                            from_port=src_port.name)
+
+    def recover(self) -> None:
+        """Restore a failed link (full or unidirectional). Idempotent."""
+        was_failed = self.failed or bool(self._failed_tx)
+        self._failed_tx.clear()
+        if not was_failed:
+            return
+        fully_failed = self.failed
+        self.failed = False
+        self.sim.trace.emit(self.sim.now, "link.recover", self.name)
+        if fully_failed and self.carrier_detect:
+            self.sim.schedule(0.0, self._notify_up, priority=PRIORITY_HIGH)
+
+    def detach(self) -> None:
+        """Unwire both ports so they can be re-linked elsewhere.
+
+        Used to model physically moving a cable (e.g. a VM migrating to a
+        different edge switch). Any queued or in-flight frames are lost.
+        """
+        if not self.failed:
+            self.fail()
+        self.a.link = None
+        self.b.link = None
+
+    def _notify_down(self) -> None:
+        for port in (self.a, self.b):
+            port.node.on_port_down(port)
+
+    def _notify_up(self) -> None:
+        for port in (self.a, self.b):
+            port.node.on_port_up(port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "FAILED" if self.failed else "up"
+        return f"<Link {self.name} {state}>"

@@ -1,0 +1,55 @@
+"""The base class for everything attached to the data-plane network."""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.net.ethernet import EthernetFrame
+from repro.net.link import Port
+from repro.sim.simulator import Simulator
+
+
+class Node:
+    """A device with named identity and numbered ports.
+
+    Subclasses (hosts, switches, the fabric manager) override
+    :meth:`receive` to process frames and may override the port up/down
+    hooks to react to carrier changes.
+    """
+
+    def __init__(self, sim: Simulator, name: str, num_ports: int) -> None:
+        if num_ports < 0:
+            raise TopologyError(f"negative port count for {name!r}")
+        self.sim = sim
+        self.name = name
+        self.ports: list[Port] = [Port(self, i) for i in range(num_ports)]
+
+    def port(self, index: int) -> Port:
+        """The port at ``index``; raises :class:`TopologyError` when absent."""
+        if not 0 <= index < len(self.ports):
+            raise TopologyError(f"{self.name} has no port {index}")
+        return self.ports[index]
+
+    def add_port(self) -> Port:
+        """Append one more port (used by incremental topology builders)."""
+        port = Port(self, len(self.ports))
+        self.ports.append(port)
+        return port
+
+    def free_port(self) -> Port:
+        """First enabled port with no link attached."""
+        for port in self.ports:
+            if port.link is None and port.enabled:
+                return port
+        raise TopologyError(f"{self.name} has no free ports")
+
+    def receive(self, frame: EthernetFrame, in_port: Port) -> None:
+        """Handle a frame arriving on ``in_port``. Default: drop."""
+
+    def on_port_down(self, port: Port) -> None:
+        """Carrier lost on ``port`` (only with link carrier detection)."""
+
+    def on_port_up(self, port: Port) -> None:
+        """Carrier restored on ``port``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} ports={len(self.ports)}>"

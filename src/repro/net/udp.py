@@ -1,0 +1,46 @@
+"""UDP datagrams (RFC 768)."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CodecError
+from repro.net.packet import Packet, encode_payload, payload_length
+
+UDP_HEADER_LEN = 8
+
+
+class UdpDatagram(Packet):
+    """A UDP datagram. The checksum is rendered as zero (legal for IPv4)."""
+
+    __slots__ = ("src_port", "dst_port", "payload")
+
+    def __init__(self, src_port: int, dst_port: int, payload: Packet | bytes | None) -> None:
+        for name, port in (("source", src_port), ("destination", dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise CodecError(f"bad UDP {name} port: {port}")
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.payload = payload
+
+    def wire_length(self) -> int:
+        return UDP_HEADER_LEN + payload_length(self.payload)
+
+    def encode(self) -> bytes:
+        body = encode_payload(self.payload)
+        header = struct.pack("!HHHH", self.src_port, self.dst_port,
+                             UDP_HEADER_LEN + len(body), 0)
+        return header + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "UdpDatagram":
+        """Parse wire bytes; payload kept raw."""
+        if len(data) < UDP_HEADER_LEN:
+            raise CodecError(f"UDP datagram too short: {len(data)} bytes")
+        src_port, dst_port, length, _checksum = struct.unpack_from("!HHHH", data, 0)
+        if length < UDP_HEADER_LEN or length > len(data):
+            raise CodecError(f"bad UDP length field: {length}")
+        return cls(src_port, dst_port, data[UDP_HEADER_LEN:length])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UDP({self.src_port}->{self.dst_port} len={self.wire_length()})"

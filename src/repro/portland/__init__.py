@@ -1,0 +1,42 @@
+"""PortLand: PMAC addressing, LDP, fabric manager, fault-tolerant routing.
+
+This package is the paper's contribution. The usual entry point is
+:func:`repro.topology.build_portland_fabric`, which wires a fat tree of
+:class:`PortlandSwitch` + :class:`PortlandAgent` pairs to a
+:class:`FabricManager` over a :class:`ControlNetwork`.
+"""
+
+from repro.portland.agent import HostRecord, PortlandAgent
+from repro.portland.config import PortlandConfig
+from repro.portland.control import ControlNetwork
+from repro.portland.fabric_manager import FabricManager, FmHostRecord
+from repro.portland.faults import compute_overrides, diff_overrides
+from repro.portland.ldp import LdpProcess, NeighborInfo
+from repro.portland.messages import SwitchLevel
+from repro.portland.multicast import GroupState, MulticastManager
+from repro.portland.pmac import Pmac, PmacAllocator, pod_prefix, position_prefix
+from repro.portland.switch import PortlandSwitch
+from repro.portland.topology_view import FabricView, SwitchRecord
+
+__all__ = [
+    "ControlNetwork",
+    "FabricManager",
+    "FabricView",
+    "FmHostRecord",
+    "GroupState",
+    "HostRecord",
+    "LdpProcess",
+    "MulticastManager",
+    "NeighborInfo",
+    "Pmac",
+    "PmacAllocator",
+    "PortlandAgent",
+    "PortlandConfig",
+    "PortlandSwitch",
+    "SwitchLevel",
+    "SwitchRecord",
+    "compute_overrides",
+    "diff_overrides",
+    "pod_prefix",
+    "position_prefix",
+]

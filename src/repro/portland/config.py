@@ -1,0 +1,53 @@
+"""Tunable parameters of the PortLand control plane.
+
+Defaults follow the paper's testbed behaviour: LDMs double as liveness
+probes with a detection time of ``ldm_period_s * miss_threshold`` ≈
+50 ms, which (plus reporting and re-installation) lands single-failure
+convergence in the paper's 60–80 ms band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PortlandConfig:
+    """All knobs for LDP, the agents, and the fabric manager."""
+
+    #: LDM beacon period.
+    ldm_period_s: float = 0.010
+    #: Consecutive missed LDMs before a neighbour is declared dead.
+    miss_threshold: int = 5
+    #: How long a wired-but-silent port must stay silent before an edge
+    #: switch concludes it faces a host (multiples of the LDM period).
+    edge_detect_periods: float = 3.0
+    #: How long an edge waits for position acks before retrying.
+    proposal_timeout_s: float = 0.030
+    #: Lifetime of a tentative (unconfirmed) position grant at an
+    #: aggregation switch.
+    grant_ttl_s: float = 0.200
+
+    #: Switch software (packet-in) path latency.
+    agent_delay_s: float = 50e-6
+    #: Debounce for neighbor reports to the fabric manager.
+    report_debounce_s: float = 0.005
+
+    #: Control-network link parameters (switch <-> fabric manager).
+    control_rate_bps: float = 1_000_000_000.0
+    control_delay_s: float = 20e-6
+
+    #: Fabric-manager per-message service time (one CPU core).
+    fm_service_time_s: float = 25e-6
+    #: Period of the agents' soft-state refresh (neighbor report, host
+    #: re-registration, multicast membership, outstanding failures) —
+    #: what lets a restarted fabric manager rebuild all of its state.
+    soft_state_refresh_s: float = 2.0
+
+    #: After VM migration, also push gratuitous ARPs to every edge switch
+    #: (proactive invalidation) in addition to the old-edge trap.
+    proactive_garp: bool = False
+    #: Whether the old edge forwards trapped packets on to the new PMAC.
+    forward_on_trap: bool = True
+    #: Min interval between unicast gratuitous ARPs per stale sender.
+    trap_garp_interval_s: float = 0.050

@@ -1,0 +1,347 @@
+"""The fabric manager (paper §3.1).
+
+A logically centralized process on the control network that keeps *soft
+state* only — everything it knows was learned from the switches and can
+be relearned after a restart:
+
+* the IP → PMAC registry that answers proxy-ARP queries,
+* pod-number assignment for LDP,
+* the topology view (from neighbour reports) and the fault matrix (from
+  link fail/recover reports), from which it computes prescriptive
+  per-switch forwarding overrides,
+* multicast group membership and trees,
+* VM-migration bookkeeping (invalidating stale PMACs at the old edge).
+
+The node is a single-server queue: each message costs
+``fm_service_time_s`` of CPU before its handler runs. Its utilization
+and message/byte counters feed Figs. 14 and 15 directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.ethernet import ETHERTYPE_FABRIC, EthernetFrame
+from repro.net.link import Port
+from repro.net.node import Node
+from repro.portland.config import PortlandConfig
+from repro.portland.faults import compute_overrides, diff_overrides
+from repro.portland.messages import (
+    ArpFlood,
+    ArpQuery,
+    ArpResponse,
+    BroadcastRelay,
+    DisableLink,
+    EnableLink,
+    FaultClear,
+    FaultUpdate,
+    FmMessage,
+    GratuitousArp,
+    IgmpRelay,
+    Invalidate,
+    LinkFail,
+    LinkRecover,
+    McastInstall,
+    McastMiss,
+    McastRemove,
+    NeighborReport,
+    PodReply,
+    PodRequest,
+    RegisterHost,
+    SwitchLevel,
+    decode_fabric,
+)
+from repro.portland.multicast import MulticastManager
+from repro.portland.topology_view import FabricView, SwitchRecord
+from repro.sim.simulator import Simulator
+from repro.switching.stp import bridge_mac_for
+
+
+@dataclass
+class FmHostRecord:
+    """One host's binding in the fabric manager's registry."""
+
+    ip: IPv4Address
+    amac: MacAddress
+    pmac: MacAddress
+    edge_id: int
+    port: int
+
+
+class FabricManager(Node):
+    """The PortLand fabric manager node."""
+
+    def __init__(self, sim: Simulator, config: PortlandConfig,
+                 name: str = "fabric-manager") -> None:
+        super().__init__(sim, name, num_ports=0)
+        self.config = config
+        self.mac = bridge_mac_for(name)
+
+        # Connectivity: switch id <-> FM port.
+        self._port_by_switch: dict[int, Port] = {}
+
+        # Registries.
+        self.hosts_by_ip: dict[IPv4Address, FmHostRecord] = {}
+        self.switches: dict[int, SwitchRecord] = {}
+        self.fault_matrix: set[frozenset[int]] = set()
+        self._pod_assignments: dict[int, int] = {}
+        self._next_pod = 0
+        self._sent_overrides: dict[int, dict[tuple[int, int], set[int]]] = {}
+
+        self.multicast = MulticastManager(self._mcast_install,
+                                          self._mcast_remove)
+
+        # Single-server processing queue.
+        self._queue: deque[tuple[EthernetFrame, Port]] = deque()
+        self._busy = False
+
+        #: Times this instance has been restarted (soft-state rebuilds).
+        self.restarts = 0
+
+        # Measurement counters (Figs. 14/15).
+        self.messages_received = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.arp_queries = 0
+        self.arp_misses = 0
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Control-network attachment
+
+    def attach_switch(self, switch_id: int) -> Port:
+        """Allocate an FM-side port for one switch's control link."""
+        port = self.add_port()
+        self._port_by_switch[switch_id] = port
+        return port
+
+    def view(self) -> FabricView:
+        """Current topology view (switch records + fault matrix)."""
+        return FabricView(self.switches, self.fault_matrix)
+
+    def restart(self) -> None:
+        """Simulate a fabric-manager crash + failover.
+
+        All registries are dropped — the paper's design point is that the
+        fabric manager holds *soft state only*, so a fresh instance
+        rebuilds everything from the agents' periodic refreshes
+        (``PortlandConfig.soft_state_refresh_s``) without any fabric
+        reconfiguration. Pending queued messages are lost too.
+        """
+        self.restarts += 1
+        self.hosts_by_ip.clear()
+        self.switches.clear()
+        self.fault_matrix.clear()
+        self._sent_overrides = {}
+        self.multicast.groups.clear()
+        self._queue.clear()
+        self._busy = False
+        # Keep _pod_assignments and _next_pod monotone across restarts:
+        # pod numbers live in the switches; reusing one for a *new* pod
+        # would collide with PMACs already in use. Neighbor reports
+        # re-teach us the assignments that exist.
+        self.sim.trace.emit(self.sim.now, "fm.restart", self.name,
+                            count=self.restarts)
+
+    def _note_pod_in_use(self, pod: int) -> None:
+        if pod != 0xFFFF:
+            self._next_pod = max(self._next_pod, pod + 1)
+
+    # ------------------------------------------------------------------
+    # Receive / service queue
+
+    def receive(self, frame: EthernetFrame, in_port: Port) -> None:
+        self.messages_received += 1
+        self.bytes_received += frame.wire_length()
+        self._queue.append((frame, in_port))
+        if not self._busy:
+            self._busy = True
+            self._schedule_service()
+
+    def _schedule_service(self) -> None:
+        self.busy_time += self.config.fm_service_time_s
+        self.sim.schedule(self.config.fm_service_time_s, self._service_one)
+
+    def _service_one(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        frame, in_port = self._queue.popleft()
+        try:
+            payload = frame.payload
+            if isinstance(payload, (bytes, bytearray)):
+                message = decode_fabric(bytes(payload))
+            else:
+                message = payload
+            self._dispatch(message)
+        finally:
+            if self._queue:
+                self._schedule_service()
+            else:
+                self._busy = False
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of one core consumed over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / elapsed
+
+    # ------------------------------------------------------------------
+    # Dispatch
+
+    def _dispatch(self, message: FmMessage) -> None:
+        if isinstance(message, ArpQuery):
+            self._on_arp_query(message)
+        elif isinstance(message, RegisterHost):
+            self._on_register_host(message)
+        elif isinstance(message, PodRequest):
+            self._on_pod_request(message)
+        elif isinstance(message, NeighborReport):
+            self._on_neighbor_report(message)
+        elif isinstance(message, LinkFail):
+            self._on_link_change(message.reporter_id, message.neighbor_id,
+                                 failed=True)
+        elif isinstance(message, LinkRecover):
+            self._on_link_change(message.reporter_id, message.neighbor_id,
+                                 failed=False)
+        elif isinstance(message, IgmpRelay):
+            self.multicast.on_membership(self.view(), message.edge_id,
+                                         message.port, message.group,
+                                         message.join, message.host_ip)
+        elif isinstance(message, McastMiss):
+            self.multicast.on_sender(self.view(), message.edge_id,
+                                     message.group)
+        elif isinstance(message, BroadcastRelay):
+            self._on_broadcast_relay(message)
+
+    def send_to_switch(self, switch_id: int, message: FmMessage) -> None:
+        """Ship one message to a switch over its control link."""
+        port = self._port_by_switch.get(switch_id)
+        if port is None:
+            return
+        frame = EthernetFrame(MacAddress(switch_id), self.mac,
+                              ETHERTYPE_FABRIC, message)
+        self.messages_sent += 1
+        self.bytes_sent += frame.wire_length()
+        port.send(frame)
+
+    # ------------------------------------------------------------------
+    # ARP service
+
+    def _on_arp_query(self, query: ArpQuery) -> None:
+        self.arp_queries += 1
+        record = self.hosts_by_ip.get(query.target_ip)
+        if record is not None:
+            self.send_to_switch(query.edge_id, ArpResponse(
+                query.request_id, query.target_ip, record.pmac, True))
+            return
+        # Unknown IP: fall back to a fabric-wide (edge-mediated) flood.
+        self.arp_misses += 1
+        self.send_to_switch(query.edge_id, ArpResponse(
+            query.request_id, query.target_ip, MacAddress(0), False))
+        flood = ArpFlood(query.target_ip, query.requester_ip,
+                         query.requester_pmac)
+        for switch_id, record_sw in self.switches.items():
+            if record_sw.level is SwitchLevel.EDGE:
+                self.send_to_switch(switch_id, flood)
+
+    def _on_broadcast_relay(self, relay: BroadcastRelay) -> None:
+        """Fan a tunnelled broadcast out to every other edge switch."""
+        for switch_id, record in self.switches.items():
+            if (record.level is SwitchLevel.EDGE
+                    and switch_id != relay.edge_id):
+                self.send_to_switch(switch_id, relay)
+
+    # ------------------------------------------------------------------
+    # Host registry / migration
+
+    def _on_register_host(self, reg: RegisterHost) -> None:
+        existing = self.hosts_by_ip.get(reg.ip)
+        record = FmHostRecord(reg.ip, reg.amac, reg.pmac, reg.edge_id, reg.port)
+        self.hosts_by_ip[reg.ip] = record
+        if existing is None:
+            return
+        moved = (existing.edge_id != reg.edge_id
+                 or existing.pmac != reg.pmac)
+        if not moved:
+            return
+        # VM migration: invalidate the old location.
+        self.sim.trace.emit(self.sim.now, "fm.migration", self.name,
+                            ip=str(reg.ip), old=str(existing.pmac),
+                            new=str(reg.pmac))
+        self.send_to_switch(existing.edge_id,
+                            Invalidate(reg.ip, existing.pmac, reg.pmac))
+        if self.config.proactive_garp:
+            announcement = GratuitousArp(reg.ip, reg.pmac)
+            for switch_id, sw in self.switches.items():
+                if sw.level is SwitchLevel.EDGE and switch_id != reg.edge_id:
+                    self.send_to_switch(switch_id, announcement)
+
+    # ------------------------------------------------------------------
+    # LDP support
+
+    def _on_pod_request(self, request: PodRequest) -> None:
+        pod = self._pod_assignments.get(request.switch_id)
+        if pod is None:
+            pod = self._next_pod
+            self._next_pod += 1
+            self._pod_assignments[request.switch_id] = pod
+        self.send_to_switch(request.switch_id, PodReply(pod))
+
+    def _on_neighbor_report(self, report: NeighborReport) -> None:
+        record = self.switches.setdefault(report.switch_id,
+                                          SwitchRecord(report.switch_id))
+        record.update_from_report(report.level, report.pod, report.position,
+                                  report.neighbors)
+        self._note_pod_in_use(report.pod)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+
+    def _on_link_change(self, a: int, b: int, failed: bool) -> None:
+        link = frozenset((a, b))
+        if failed:
+            if link in self.fault_matrix:
+                return
+            self.fault_matrix.add(link)
+        else:
+            if link not in self.fault_matrix:
+                return
+            self.fault_matrix.discard(link)
+        self.sim.trace.emit(self.sim.now, "fm.fault_matrix", self.name,
+                            link=sorted(link), failed=failed,
+                            total=len(self.fault_matrix))
+        # Tell both endpoints to stop/resume using the link. The reporter
+        # already knows; the *other* endpoint may not — under a
+        # unidirectional failure its receive direction still works, so
+        # its own keepalives never time out.
+        for endpoint, other in ((a, b), (b, a)):
+            message = DisableLink(other) if failed else EnableLink(other)
+            self.send_to_switch(endpoint, message)
+        view = self.view()
+        self._push_override_changes(view)
+        self.multicast.on_topology_change(view)
+
+    def _push_override_changes(self, view: FabricView) -> None:
+        new = compute_overrides(view)
+        updates, clears = diff_overrides(self._sent_overrides, new)
+        for switch_id, (value, bits), avoid in updates:
+            self.send_to_switch(switch_id,
+                                FaultUpdate(MacAddress(value), bits, avoid))
+        for switch_id, (value, bits) in clears:
+            self.send_to_switch(switch_id, FaultClear(MacAddress(value), bits))
+        self._sent_overrides = new
+
+    # ------------------------------------------------------------------
+    # Multicast plumbing
+
+    def _mcast_install(self, switch_id: int, group: IPv4Address,
+                       ports: tuple[int, ...]) -> None:
+        self.send_to_switch(switch_id,
+                            McastInstall(group.multicast_mac(), ports))
+
+    def _mcast_remove(self, switch_id: int, group: IPv4Address) -> None:
+        self.send_to_switch(switch_id, McastRemove(group.multicast_mac()))

@@ -1,0 +1,140 @@
+"""Fault-matrix → prescriptive forwarding overrides (paper §3.6).
+
+When a switch reports a failed link, the fabric manager does not flood
+the event fabric-wide (the link-state approach it replaces); it computes
+exactly which switches' forwarding decisions are invalidated and sends
+each of them one :class:`~repro.portland.messages.FaultUpdate` naming
+the destination prefix and the next-hop neighbours to avoid. Recovery
+sends the matching clears.
+
+The computation is a reachability analysis on the *alive* graph (wiring
+minus fault matrix), done per destination edge switch — i.e. per
+position prefix, the granularity of PortLand forwarding:
+
+* ``D_aggs(e)`` — aggregation switches that can still deliver *down* to
+  edge ``e`` (alive agg↔e link);
+* ``D_cores(e)`` — cores with an alive link to some member of
+  ``D_aggs(e)``.
+
+Then, for traffic addressed to ``e``'s prefix:
+
+* another edge in the same pod may only use uplinks into ``D_aggs(e)``;
+* an edge in a different pod may only use uplinks to aggregation
+  switches that still have an alive link to some core in ``D_cores(e)``;
+* an aggregation switch in a different pod may only use uplinks to
+  cores in ``D_cores(e)``.
+
+A switch whose default ECMP set already satisfies the constraint gets no
+message; a prefix with an empty allowed set gets an empty override
+(drop — the prefix is genuinely unreachable). Local failures (a
+switch's own ports) are pruned by the switch agent itself and need no
+message. This handles arbitrary combinations of simultaneous failures,
+which the paper's single-failure narrative composes implicitly.
+"""
+
+from __future__ import annotations
+
+from repro.portland.messages import SwitchLevel
+from repro.portland.pmac import position_prefix
+from repro.portland.topology_view import FabricView
+
+#: switch_id -> {(prefix_value, prefix_len): set of neighbor ids to avoid}
+Overrides = dict[int, dict[tuple[int, int], set[int]]]
+
+
+def compute_overrides(view: FabricView) -> Overrides:
+    """Full override map implied by the current fault matrix.
+
+    Recomputed from scratch on every fault-matrix change and diffed
+    against what has been sent — simple, idempotent, and naturally
+    correct for overlapping failures and recoveries.
+    """
+    overrides: Overrides = {}
+    if not view.failed:
+        return overrides
+    for edge in view.edges():
+        pod = view.pod(edge)
+        position = view.position(edge)
+        if pod is None or position is None:
+            continue
+        if not _touched_by_failure(view, edge, pod):
+            continue
+        value, bits = position_prefix(pod, position)
+        prefix = (value.value, bits)
+        d_aggs = {agg for agg in view.aggs_in_pod(pod) if view.alive(agg, edge)}
+        d_cores = {
+            core
+            for agg in d_aggs
+            for core in view.core_neighbors(agg)
+            if view.alive(agg, core)
+        }
+        _edge_overrides(view, overrides, edge, pod, prefix, d_aggs, d_cores)
+        _agg_overrides(view, overrides, pod, prefix, d_cores)
+    return overrides
+
+
+def _touched_by_failure(view: FabricView, edge: int, pod: int) -> bool:
+    """Whether any failed link could affect reachability of ``edge``:
+    a link touching the edge itself, its pod's aggregation switches, or
+    those switches' cores."""
+    relevant = {edge}
+    for agg in view.aggs_in_pod(pod):
+        relevant.add(agg)
+        relevant.update(view.core_neighbors(agg))
+    return any(relevant & link for link in view.failed)
+
+
+def _edge_overrides(view: FabricView, overrides: Overrides, edge: int,
+                    pod: int, prefix: tuple[int, int],
+                    d_aggs: set[int], d_cores: set[int]) -> None:
+    for other in view.edges():
+        if other == edge:
+            continue
+        phys_up = {nbr for nbr in view.neighbors_of(other).values()
+                   if view.level(nbr) is SwitchLevel.AGGREGATION}
+        if view.pod(other) == pod:
+            allowed = phys_up & d_aggs
+        else:
+            allowed = {
+                agg for agg in phys_up
+                if any(view.alive(agg, core)
+                       for core in view.core_neighbors(agg)
+                       if core in d_cores)
+            }
+        avoid = phys_up - allowed
+        if avoid:
+            overrides.setdefault(other, {})[prefix] = avoid
+
+
+def _agg_overrides(view: FabricView, overrides: Overrides, pod: int,
+                   prefix: tuple[int, int], d_cores: set[int]) -> None:
+    for agg in view.aggregations():
+        if view.pod(agg) == pod:
+            continue  # same-pod aggs route down directly or drop
+        phys_cores = set(view.core_neighbors(agg))
+        allowed = phys_cores & d_cores
+        avoid = phys_cores - allowed
+        if avoid:
+            overrides.setdefault(agg, {})[prefix] = avoid
+
+
+def diff_overrides(old: Overrides, new: Overrides):
+    """Changes needed to move a fabric from ``old`` to ``new``.
+
+    Returns ``(updates, clears)`` where ``updates`` is a list of
+    ``(switch_id, prefix, avoid_ids)`` to (re)send and ``clears`` a list
+    of ``(switch_id, prefix)`` to retract.
+    """
+    updates: list[tuple[int, tuple[int, int], tuple[int, ...]]] = []
+    clears: list[tuple[int, tuple[int, int]]] = []
+    switch_ids = set(old) | set(new)
+    for switch_id in switch_ids:
+        old_map = old.get(switch_id, {})
+        new_map = new.get(switch_id, {})
+        for prefix, avoid in new_map.items():
+            if old_map.get(prefix) != avoid:
+                updates.append((switch_id, prefix, tuple(sorted(avoid))))
+        for prefix in old_map:
+            if prefix not in new_map:
+                clears.append((switch_id, prefix))
+    return updates, clears

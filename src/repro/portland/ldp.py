@@ -1,0 +1,435 @@
+"""The Location Discovery Protocol (paper §3.2–3.3).
+
+Switches start with zero configuration and learn, purely from Location
+Discovery Messages (LDMs) exchanged with neighbours:
+
+* their **level** — a switch with wired-but-silent ports (hosts do not
+  speak LDP) is an *edge* switch; a switch that hears an edge switch is
+  *aggregation*; a switch that hears aggregation switches on every port
+  is *core*;
+* their **position** within the pod — edge switches propose a random
+  unused position and their aggregation switches arbitrate uniqueness;
+* their **pod** — one edge per pod (the lowest committed position;
+  requests are staggered by position so position 0 wins when present)
+  asks the fabric manager for a fresh pod number, and the value spreads
+  through LDMs (aggregation adopts it from edges below; other edges
+  adopt it from aggregation above);
+* per-port **direction** (up/down) and the identity of each neighbour.
+
+LDMs double as liveness probes: ``miss_threshold`` consecutive silent
+periods on a port that used to have a neighbour declares the link dead —
+this is the failure detector whose latency dominates Fig. 10.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.net.addresses import MacAddress
+from repro.net.ethernet import ETHERTYPE_LDP, EthernetFrame
+from repro.net.link import Port
+from repro.net.packet import Packet
+from repro.portland.config import PortlandConfig
+from repro.portland.messages import (
+    NO_POD,
+    NO_POSITION,
+    LocationDiscoveryMessage,
+    PositionAck,
+    PositionProposal,
+    SwitchLevel,
+    decode_ldp,
+)
+from repro.sim.process import PeriodicTask, Timer
+from repro.switching.stp import bridge_mac_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.portland.switch import PortlandSwitch
+
+#: Link-local destination for LDP frames.
+LDP_MULTICAST = MacAddress.parse("01:80:c2:00:00:0e")
+
+#: Hard cap on the position space (matches the 8-bit PMAC field).
+MAX_POSITIONS = 256
+
+
+class LdpListener(Protocol):
+    """Callbacks the owning agent implements."""
+
+    def on_location_complete(self) -> None:
+        """Level (and pod/position where applicable) are now known."""
+
+    def on_neighbor_changed(self, port_index: int) -> None:
+        """A neighbour appeared on ``port_index`` or its info changed."""
+
+    def on_neighbor_lost(self, port_index: int, info: "NeighborInfo") -> None:
+        """The neighbour on ``port_index`` is gone (timeout or carrier)."""
+
+    def request_pod(self) -> None:
+        """Ask the fabric manager for a pod number (position-0 edge)."""
+
+
+class NeighborInfo:
+    """What we currently know about the switch across one port."""
+
+    __slots__ = ("port_index", "switch_id", "level", "pod", "position",
+                 "last_heard")
+
+    def __init__(self, port_index: int, switch_id: int, now: float) -> None:
+        self.port_index = port_index
+        self.switch_id = switch_id
+        self.level = SwitchLevel.UNKNOWN
+        self.pod: int | None = None
+        self.position: int | None = None
+        self.last_heard = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Neighbor port={self.port_index} id={self.switch_id:#x} "
+                f"{self.level.name} pod={self.pod} pos={self.position}>")
+
+
+class _Proposal:
+    """An outstanding position proposal."""
+
+    __slots__ = ("position", "deadline", "grants", "rejected")
+
+    def __init__(self, position: int, deadline: float) -> None:
+        self.position = position
+        self.deadline = deadline
+        self.grants: set[int] = set()
+        self.rejected = False
+
+
+class LdpProcess:
+    """Runs LDP on one switch."""
+
+    def __init__(self, switch: "PortlandSwitch", config: PortlandConfig,
+                 listener: LdpListener) -> None:
+        self.switch = switch
+        self.sim = switch.sim
+        self.config = config
+        self.listener = listener
+        self.switch_mac = bridge_mac_for(switch.name)
+        self.switch_id = self.switch_mac.value
+
+        self.level = SwitchLevel.UNKNOWN
+        self.pod: int | None = None
+        self.position: int | None = None
+        self.host_ports: set[int] = set()
+        self.neighbors: dict[int, NeighborInfo] = {}
+
+        self._seq = 0
+        self._started_at = 0.0
+        self._location_announced = False
+        self._proposal: _Proposal | None = None
+        self._rejected_positions: set[int] = set()
+        self._position_range = 0  # grows on exhaustion
+        self._pod_requested = False
+        #: Aggregation role: position -> (edge_id, expires_at).
+        self._grants: dict[int, tuple[int, float]] = {}
+        self._rng = self.sim.random.stream(f"ldp/{switch.name}")
+
+        self._pod_request_timer = Timer(self.sim, self._request_pod_now)
+        self._beacon = PeriodicTask(self.sim, config.ldm_period_s, self._send_ldm,
+                                    jitter=0.1, rng_name=f"ldm/{switch.name}")
+        self._checker = PeriodicTask(self.sim, config.ldm_period_s / 2,
+                                     self._check, jitter=0.1,
+                                     rng_name=f"ldpchk/{switch.name}")
+        #: LDMs transmitted (control-overhead measurement).
+        self.ldms_sent = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self) -> None:
+        """Begin beaconing and liveness checking."""
+        self._started_at = self.sim.now
+        self._beacon.start(self._rng.uniform(0, self.config.ldm_period_s))
+        self._checker.start()
+
+    @property
+    def location_complete(self) -> bool:
+        """Whether this switch fully knows where it is."""
+        if self.level is SwitchLevel.EDGE:
+            return self.pod is not None and self.position is not None
+        if self.level is SwitchLevel.AGGREGATION:
+            return self.pod is not None
+        return self.level is SwitchLevel.CORE
+
+    def set_pod(self, pod: int) -> None:
+        """Install a pod number (from the fabric manager's PodReply)."""
+        if self.pod is None:
+            self.pod = pod
+            self._pod_request_timer.stop()
+            self._maybe_announce()
+
+    # ------------------------------------------------------------------
+    # Port direction helpers
+
+    def data_ports(self) -> list[Port]:
+        """All wired data-plane ports (excludes the control port)."""
+        control = self.switch.control_port
+        return [p for p in self.switch.ports
+                if p is not control and p.link is not None]
+
+    def up_ports(self) -> list[int]:
+        """Port indices facing the next level up (confirmed neighbours)."""
+        if self.level is SwitchLevel.EDGE:
+            return sorted(i for i, n in self.neighbors.items()
+                          if n.level is SwitchLevel.AGGREGATION)
+        if self.level is SwitchLevel.AGGREGATION:
+            return sorted(i for i, n in self.neighbors.items()
+                          if n.level is SwitchLevel.CORE)
+        return []
+
+    def down_ports(self) -> list[int]:
+        """Port indices facing the level below (or hosts, for edges)."""
+        if self.level is SwitchLevel.EDGE:
+            return sorted(self.host_ports)
+        if self.level is SwitchLevel.AGGREGATION:
+            return sorted(i for i, n in self.neighbors.items()
+                          if n.level is SwitchLevel.EDGE)
+        if self.level is SwitchLevel.CORE:
+            return sorted(self.neighbors)
+        return []
+
+    # ------------------------------------------------------------------
+    # Beaconing
+
+    def _send_ldm(self) -> None:
+        self._seq += 1
+        message = LocationDiscoveryMessage(
+            switch_id=self.switch_id,
+            level=self.level,
+            pod=self.pod if self.pod is not None else NO_POD,
+            position=self.position if self.position is not None else NO_POSITION,
+            seq=self._seq,
+        )
+        for port in self.data_ports():
+            if port.index in self.host_ports:
+                continue  # never bother hosts with LDMs once classified
+            self.ldms_sent += 1
+            port.send(EthernetFrame(LDP_MULTICAST, self.switch_mac,
+                                    ETHERTYPE_LDP, message))
+
+    # ------------------------------------------------------------------
+    # Receive path (called by the agent for every LDP frame)
+
+    def on_frame(self, frame: EthernetFrame, in_port: Port) -> None:
+        """Dispatch one received LDP-family frame."""
+        payload = frame.payload
+        if isinstance(payload, (bytes, bytearray)):
+            message: Packet = decode_ldp(bytes(payload))
+        else:
+            message = payload  # already an object
+        if isinstance(message, LocationDiscoveryMessage):
+            self._on_ldm(message, in_port)
+        elif isinstance(message, PositionProposal):
+            self._on_proposal(message, in_port)
+        elif isinstance(message, PositionAck):
+            self._on_ack(message, in_port)
+
+    def _on_ldm(self, ldm: LocationDiscoveryMessage, in_port: Port) -> None:
+        index = in_port.index
+        info = self.neighbors.get(index)
+        is_new = info is None or info.switch_id != ldm.switch_id
+        if is_new:
+            info = NeighborInfo(index, ldm.switch_id, self.sim.now)
+            self.neighbors[index] = info
+            # A port we thought faced a host turns out to face a switch.
+            self.host_ports.discard(index)
+        info.last_heard = self.sim.now
+        changed = is_new
+        pod = None if ldm.pod == NO_POD else ldm.pod
+        position = None if ldm.position == NO_POSITION else ldm.position
+        if (info.level, info.pod, info.position) != (ldm.level, pod, position):
+            info.level = ldm.level
+            info.pod = pod
+            info.position = position
+            changed = True
+
+        self._adopt_pod(info)
+        self._classify()
+        # An aggregation switch pins a position grant when it sees the
+        # edge actually beaconing with it.
+        if (self.level is SwitchLevel.AGGREGATION
+                and ldm.level is SwitchLevel.EDGE and position is not None):
+            self._grants[position] = (ldm.switch_id, float("inf"))
+        if changed:
+            self.listener.on_neighbor_changed(index)
+
+    def _adopt_pod(self, info: NeighborInfo) -> None:
+        if self.pod is not None or info.pod is None:
+            return
+        if (self.level is SwitchLevel.EDGE
+                and info.level is SwitchLevel.AGGREGATION):
+            self.pod = info.pod
+            self._pod_request_timer.stop()
+            self._maybe_announce()
+        elif (self.level is SwitchLevel.AGGREGATION
+              and info.level is SwitchLevel.EDGE):
+            self.pod = info.pod
+            self._maybe_announce()
+
+    # ------------------------------------------------------------------
+    # Level classification
+
+    def _classify(self) -> None:
+        if self.level is not SwitchLevel.UNKNOWN:
+            return
+        if any(n.level is SwitchLevel.EDGE for n in self.neighbors.values()):
+            self.level = SwitchLevel.AGGREGATION
+            self._maybe_announce()
+            return
+        wired = {p.index for p in self.data_ports()}
+        heard = set(self.neighbors)
+        silent = wired - heard
+        waited = self.sim.now - self._started_at
+        if (silent and heard
+                and waited >= self.config.edge_detect_periods * self.config.ldm_period_s):
+            self.level = SwitchLevel.EDGE
+            self.host_ports = silent
+            self._start_position_agreement()
+            self._maybe_announce()
+            return
+        if (wired and heard == wired
+                and all(n.level is SwitchLevel.AGGREGATION
+                        for n in self.neighbors.values())):
+            self.level = SwitchLevel.CORE
+            self._maybe_announce()
+
+    def _maybe_announce(self) -> None:
+        if self._location_announced or not self.location_complete:
+            return
+        self._location_announced = True
+        self.sim.trace.emit(self.sim.now, "ldp.located", self.switch.name,
+                            level=self.level.name, pod=self.pod,
+                            position=self.position)
+        self.listener.on_location_complete()
+
+    # ------------------------------------------------------------------
+    # Position agreement (edge side)
+
+    def _start_position_agreement(self) -> None:
+        if self.position is not None or self._proposal is not None:
+            return
+        self._position_range = max(
+            len([p for p in self.data_ports()
+                 if p.index not in self.host_ports]), 1)
+        self._propose()
+
+    def _propose(self) -> None:
+        candidates = [p for p in range(self._position_range)
+                      if p not in self._rejected_positions]
+        while not candidates and self._position_range < MAX_POSITIONS:
+            self._position_range = min(self._position_range * 2, MAX_POSITIONS)
+            candidates = [p for p in range(self._position_range)
+                          if p not in self._rejected_positions]
+        if not candidates:
+            # Every position rejected: clear memory and start over (the
+            # conflicting grants will have expired by now).
+            self._rejected_positions.clear()
+            candidates = list(range(self._position_range))
+        position = self._rng.choice(candidates)
+        self._proposal = _Proposal(position,
+                                   self.sim.now + self.config.proposal_timeout_s)
+        proposal = PositionProposal(self.switch_id, position)
+        for index, info in self.neighbors.items():
+            if info.level in (SwitchLevel.AGGREGATION, SwitchLevel.UNKNOWN):
+                self.switch.ports[index].send(
+                    EthernetFrame(LDP_MULTICAST, self.switch_mac,
+                                  ETHERTYPE_LDP, proposal))
+
+    def _on_ack(self, ack: PositionAck, in_port: Port) -> None:
+        proposal = self._proposal
+        if (proposal is None or self.position is not None
+                or ack.position != proposal.position):
+            return
+        if not ack.granted:
+            self._rejected_positions.add(ack.position)
+            self._proposal = None
+            self._propose()
+            return
+        proposal.grants.add(ack.switch_id)
+        # Commit once every known upward neighbour has granted.
+        upward = {n.switch_id for n in self.neighbors.values()
+                  if n.level in (SwitchLevel.AGGREGATION, SwitchLevel.UNKNOWN)}
+        if upward and upward <= proposal.grants:
+            self._commit_position(proposal.position)
+
+    def _commit_position(self, position: int) -> None:
+        self.position = position
+        self._proposal = None
+        self.sim.trace.emit(self.sim.now, "ldp.position", self.switch.name,
+                            position=position)
+        # One edge per pod must obtain the pod number from the fabric
+        # manager. In a full fat tree that is whoever got position 0;
+        # on sparser trees position 0 may be vacant, so requests are
+        # staggered by position — the lowest committed position fires
+        # first and everyone else learns the pod through LDMs (which
+        # cancels their pending request).
+        if self.pod is None and not self._pod_requested:
+            delay = position * 3 * self.config.ldm_period_s
+            self._pod_request_timer.start(delay)
+        self._maybe_announce()
+
+    def _request_pod_now(self) -> None:
+        if self.pod is not None or self._pod_requested:
+            return
+        self._pod_requested = True
+        self.listener.request_pod()
+
+    # ------------------------------------------------------------------
+    # Position arbitration (aggregation side)
+
+    def _on_proposal(self, proposal: PositionProposal, in_port: Port) -> None:
+        if self.level is not SwitchLevel.AGGREGATION:
+            return
+        granted = self._grant(proposal.position, proposal.switch_id)
+        ack = PositionAck(self.switch_id, proposal.position, granted)
+        in_port.send(EthernetFrame(LDP_MULTICAST, self.switch_mac,
+                                   ETHERTYPE_LDP, ack))
+
+    def _grant(self, position: int, edge_id: int) -> bool:
+        current = self._grants.get(position)
+        now = self.sim.now
+        if current is not None:
+            holder, expires = current
+            if holder != edge_id and now < expires:
+                return False
+        self._grants[position] = (edge_id, now + self.config.grant_ttl_s)
+        return True
+
+    # ------------------------------------------------------------------
+    # Liveness
+
+    def _check(self) -> None:
+        timeout = self.config.miss_threshold * self.config.ldm_period_s
+        now = self.sim.now
+        lost = [info for info in self.neighbors.values()
+                if now - info.last_heard > timeout]
+        for info in lost:
+            self._lose_neighbor(info)
+        proposal = self._proposal
+        if (proposal is not None and self.position is None
+                and now >= proposal.deadline):
+            if proposal.grants:
+                self._commit_position(proposal.position)
+            else:
+                self._proposal = None
+                self._propose()
+
+    def on_carrier_down(self, port: Port) -> None:
+        """Immediate failure signal from the PHY (when links provide it)."""
+        info = self.neighbors.get(port.index)
+        if info is not None:
+            self._lose_neighbor(info)
+
+    def _lose_neighbor(self, info: NeighborInfo) -> None:
+        del self.neighbors[info.port_index]
+        # Release any position grant pinned to that edge.
+        self._grants = {pos: (holder, exp)
+                        for pos, (holder, exp) in self._grants.items()
+                        if holder != info.switch_id}
+        self.sim.trace.emit(self.sim.now, "ldp.neighbor_lost", self.switch.name,
+                            port=info.port_index, neighbor=info.switch_id)
+        self.listener.on_neighbor_lost(info.port_index, info)

@@ -1,0 +1,189 @@
+"""Fabric-manager multicast state and tree computation (paper §3.5/§3.6.1).
+
+The fabric manager learns receivers from relayed IGMP joins and senders
+from edge switches' multicast table misses, picks a single core as the
+rendezvous point, and installs one flow entry per on-tree switch mapping
+the group MAC to the exact output-port set. On any membership or fault
+change the tree is recomputed and the difference (installs/removals) is
+pushed — this is what bounds the loss window in Fig. 12.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.addresses import IPv4Address
+from repro.portland.topology_view import FabricView
+
+#: Callbacks the fabric manager provides: install(switch_id, group, ports)
+#: and remove(switch_id, group).
+InstallFn = Callable[[int, IPv4Address, tuple[int, ...]], None]
+RemoveFn = Callable[[int, IPv4Address], None]
+
+
+@dataclass
+class GroupState:
+    """Per-group membership and the currently installed tree."""
+
+    group: IPv4Address
+    #: (edge_id, port) -> set of member host IPs (to handle leaves).
+    members: dict[tuple[int, int], set[int]] = field(default_factory=dict)
+    sender_edges: set[int] = field(default_factory=set)
+    core: int | None = None
+    #: switch_id -> installed output ports.
+    installed: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    def member_edges(self) -> dict[int, set[int]]:
+        """edge_id -> set of member host ports."""
+        edges: dict[int, set[int]] = {}
+        for (edge_id, port), hosts in self.members.items():
+            if hosts:
+                edges.setdefault(edge_id, set()).add(port)
+        return edges
+
+
+class MulticastManager:
+    """All multicast group state of the fabric manager."""
+
+    def __init__(self, install: InstallFn, remove: RemoveFn) -> None:
+        self._install = install
+        self._remove = remove
+        self.groups: dict[IPv4Address, GroupState] = {}
+        #: Trees recomputed (measurement hook).
+        self.recomputes = 0
+
+    # ------------------------------------------------------------------
+    # Events
+
+    def on_membership(self, view: FabricView, edge_id: int, port: int,
+                      group: IPv4Address, join: bool, host_ip: IPv4Address) -> None:
+        """A relayed IGMP join/leave."""
+        state = self.groups.setdefault(group, GroupState(group))
+        key = (edge_id, port)
+        hosts = state.members.setdefault(key, set())
+        if join:
+            changed = host_ip.value not in hosts
+            hosts.add(host_ip.value)
+        else:
+            changed = host_ip.value in hosts
+            hosts.discard(host_ip.value)
+            if not hosts:
+                del state.members[key]
+        # Duplicate joins arrive constantly (agents re-relay membership on
+        # every soft-state refresh); only real changes cost a recompute.
+        if changed:
+            self.recompute(view, group)
+
+    def on_sender(self, view: FabricView, edge_id: int,
+                  group: IPv4Address) -> None:
+        """An edge switch reported an unknown-group sender."""
+        state = self.groups.setdefault(group, GroupState(group))
+        if edge_id not in state.sender_edges:
+            state.sender_edges.add(edge_id)
+        self.recompute(view, group)
+
+    def on_topology_change(self, view: FabricView) -> None:
+        """The fault matrix changed: repair every group whose installed
+        tree crosses a dead link (or that could now use a better one)."""
+        for group in list(self.groups):
+            self.recompute(view, group)
+
+    # ------------------------------------------------------------------
+    # Tree computation
+
+    def recompute(self, view: FabricView, group: IPv4Address) -> None:
+        """Recompute and (re)install the tree for one group."""
+        state = self.groups.get(group)
+        if state is None:
+            return
+        self.recomputes += 1
+        wanted = self._compute_tree(view, state)
+        self._apply(state, wanted)
+
+    def _compute_tree(self, view: FabricView,
+                      state: GroupState) -> dict[int, tuple[int, ...]]:
+        member_edges = state.member_edges()
+        involved_edges = set(member_edges) | set(state.sender_edges)
+        if not involved_edges:
+            return {}
+        pods: set[int] = set()
+        for edge_id in involved_edges:
+            pod = view.pod(edge_id)
+            if pod is None:
+                return {}
+            pods.add(pod)
+
+        core, pod_aggs = self._choose_core(view, state.group, pods,
+                                           member_edges, involved_edges)
+        if core is None:
+            return {}
+        state.core = core
+
+        ports: dict[int, set[int]] = {}
+
+        def add(switch_id: int, port: int | None) -> None:
+            if port is not None:
+                ports.setdefault(switch_id, set()).add(port)
+
+        for pod in pods:
+            agg = pod_aggs[pod]
+            # Core fans down to the pod's chosen aggregation switch.
+            add(core, view.port_toward(core, agg))
+            # Aggregation fans up to the core and down to member edges.
+            add(agg, view.port_toward(agg, core))
+            for edge_id in involved_edges:
+                if view.pod(edge_id) != pod:
+                    continue
+                if edge_id in member_edges:
+                    add(agg, view.port_toward(agg, edge_id))
+                # Every involved edge (member or sender) points up at
+                # the pod's tree aggregation switch.
+                add(edge_id, view.port_toward(edge_id, agg))
+                for host_port in member_edges.get(edge_id, ()):
+                    add(edge_id, host_port)
+        return {sid: tuple(sorted(pset)) for sid, pset in ports.items()}
+
+    def _choose_core(self, view: FabricView, group: IPv4Address,
+                     pods: set[int], member_edges: dict[int, set[int]],
+                     involved_edges: set[int]):
+        """Deterministically pick a core that can reach every involved
+        pod over alive links, and the aggregation switch per pod."""
+        cores = sorted(view.cores(),
+                       key=lambda c: zlib.crc32(f"{group}/{c}".encode()))
+        for core in cores:
+            pod_aggs: dict[int, int] = {}
+            feasible = True
+            for pod in sorted(pods):
+                agg = self._choose_agg(view, core, pod, member_edges,
+                                       involved_edges)
+                if agg is None:
+                    feasible = False
+                    break
+                pod_aggs[pod] = agg
+            if feasible:
+                return core, pod_aggs
+        return None, {}
+
+    def _choose_agg(self, view: FabricView, core: int, pod: int,
+                    member_edges: dict[int, set[int]],
+                    involved_edges: set[int]) -> int | None:
+        pod_edges = [e for e in involved_edges if view.pod(e) == pod]
+        for agg in sorted(view.aggs_in_pod(pod)):
+            if not view.alive(core, agg):
+                continue
+            if all(view.alive(agg, edge) for edge in pod_edges):
+                return agg
+        return None
+
+    def _apply(self, state: GroupState,
+               wanted: dict[int, tuple[int, ...]]) -> None:
+        for switch_id in list(state.installed):
+            if switch_id not in wanted:
+                self._remove(switch_id, state.group)
+                del state.installed[switch_id]
+        for switch_id, ports in wanted.items():
+            if state.installed.get(switch_id) != ports:
+                self._install(switch_id, state.group, ports)
+                state.installed[switch_id] = ports

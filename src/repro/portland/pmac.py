@@ -1,0 +1,141 @@
+"""Pseudo MAC (PMAC) addressing — PortLand's hierarchical host identity.
+
+A PMAC is a 48-bit value structured as ``pod:16 . position:8 . port:8 .
+vmid:16``: the pod of the host's edge switch, the switch's position
+within the pod, the edge port the host hangs off, and a per-port virtual
+machine id. Because the structure mirrors the topology, forwarding
+reduces to longest-prefix matching on at most O(k) entries per switch —
+the core of the paper's scalability argument.
+
+End hosts never learn their own PMAC: edge switches rewrite
+AMAC↔PMAC at the fabric boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+from repro.net.addresses import MacAddress
+
+POD_BITS = 16
+POSITION_BITS = 8
+PORT_BITS = 8
+VMID_BITS = 16
+
+MAX_POD = (1 << POD_BITS) - 1
+MAX_POSITION = (1 << POSITION_BITS) - 1
+MAX_PORT = (1 << PORT_BITS) - 1
+MAX_VMID = (1 << VMID_BITS) - 1
+
+#: Prefix lengths (in bits) used by forwarding entries.
+POD_PREFIX_LEN = POD_BITS
+POSITION_PREFIX_LEN = POD_BITS + POSITION_BITS
+PORT_PREFIX_LEN = POD_BITS + POSITION_BITS + PORT_BITS
+
+#: The I/G (multicast) bit of an EUI-48 expressed within the pod field:
+#: bit 40 of the MAC is bit 8 of the 16-bit pod. Pods that would set it
+#: are rejected, since a multicast PMAC could never be forwarded unicast.
+_POD_IG_BIT = 1 << 8
+
+
+@dataclass(frozen=True, order=True)
+class Pmac:
+    """A structured PMAC."""
+
+    pod: int
+    position: int
+    port: int
+    vmid: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pod <= MAX_POD:
+            raise AddressError(f"pod out of range: {self.pod}")
+        if self.pod & _POD_IG_BIT:
+            raise AddressError(
+                f"pod {self.pod} would set the Ethernet multicast bit"
+            )
+        if not 0 <= self.position <= MAX_POSITION:
+            raise AddressError(f"position out of range: {self.position}")
+        if not 0 <= self.port <= MAX_PORT:
+            raise AddressError(f"port out of range: {self.port}")
+        if not 0 <= self.vmid <= MAX_VMID:
+            raise AddressError(f"vmid out of range: {self.vmid}")
+
+    def to_mac(self) -> MacAddress:
+        """Render as an Ethernet address."""
+        value = (
+            (self.pod << (POSITION_BITS + PORT_BITS + VMID_BITS))
+            | (self.position << (PORT_BITS + VMID_BITS))
+            | (self.port << VMID_BITS)
+            | self.vmid
+        )
+        return MacAddress(value)
+
+    @classmethod
+    def from_mac(cls, mac: MacAddress) -> "Pmac":
+        """Parse an Ethernet address as a PMAC."""
+        value = mac.value
+        return cls(
+            pod=(value >> (POSITION_BITS + PORT_BITS + VMID_BITS)) & MAX_POD,
+            position=(value >> (PORT_BITS + VMID_BITS)) & MAX_POSITION,
+            port=(value >> VMID_BITS) & MAX_PORT,
+            vmid=value & MAX_VMID,
+        )
+
+    def __str__(self) -> str:
+        return f"pmac({self.pod}.{self.position}.{self.port}.{self.vmid})"
+
+
+def pod_prefix(pod: int) -> tuple[MacAddress, int]:
+    """(value, prefix_len) matching every PMAC in ``pod``."""
+    return (Pmac(pod, 0, 0, 0).to_mac(), POD_PREFIX_LEN)
+
+
+def position_prefix(pod: int, position: int) -> tuple[MacAddress, int]:
+    """(value, prefix_len) matching every PMAC at (pod, position)."""
+    return (Pmac(pod, position, 0, 0).to_mac(), POSITION_PREFIX_LEN)
+
+
+class PmacAllocator:
+    """Per-edge-switch PMAC allocation: one vmid counter per host port.
+
+    Frees vmids when hosts disappear so long-running fabrics with churn
+    do not leak the 16-bit space.
+    """
+
+    def __init__(self, pod: int, position: int) -> None:
+        self.pod = pod
+        self.position = position
+        self._next_vmid: dict[int, int] = {}
+        self._free: dict[int, list[int]] = {}
+        self._allocated: dict[int, set[int]] = {}
+
+    def allocate(self, port: int) -> Pmac:
+        """Allocate the next PMAC on edge ``port``."""
+        free = self._free.get(port)
+        if free:
+            vmid = free.pop()
+        else:
+            vmid = self._next_vmid.get(port, 0)
+            if vmid > MAX_VMID:
+                raise AddressError(
+                    f"vmid space exhausted on port {port} of "
+                    f"pod {self.pod} position {self.position}"
+                )
+            self._next_vmid[port] = vmid + 1
+        self._allocated.setdefault(port, set()).add(vmid)
+        return Pmac(self.pod, self.position, port, vmid)
+
+    def release(self, pmac: Pmac) -> None:
+        """Return a PMAC's vmid to the pool."""
+        if pmac.pod != self.pod or pmac.position != self.position:
+            raise AddressError(f"{pmac} does not belong to this edge switch")
+        allocated = self._allocated.get(pmac.port, set())
+        if pmac.vmid in allocated:
+            allocated.discard(pmac.vmid)
+            self._free.setdefault(pmac.port, []).append(pmac.vmid)
+
+    def allocated_count(self) -> int:
+        """Number of live PMACs on this edge switch."""
+        return sum(len(vmids) for vmids in self._allocated.values())

@@ -1,0 +1,124 @@
+"""The PortLand switch: a two-stage flow pipeline plus direct LDP path.
+
+Stage 1 (*rewrite table*) performs the edge MAC rewriting the paper
+installs as OpenFlow entries: AMAC→PMAC on ingress host ports (and the
+new-host trap). Entries whose actions are purely header rewrites fall
+through to stage 2 (*forwarding table*), which holds the PMAC
+longest-prefix-match entries, multicast entries, ARP interception, and
+the ECMP default-up route.
+
+LDP frames and control-network frames bypass the tables entirely — they
+terminate in switch software, like protocol packets reaching a switch
+CPU port.
+"""
+
+from __future__ import annotations
+
+from repro.net.ethernet import ETHERTYPE_LDP, EthernetFrame
+from repro.net.link import Port
+from repro.sim.simulator import Simulator
+from repro.switching.flow_table import (
+    FlowTable,
+    Output,
+    OutputMany,
+    SelectByHash,
+    SetEthDst,
+    SetEthSrc,
+    ToAgent,
+)
+from repro.switching.switch import FlowSwitch
+
+_TERMINAL_ACTIONS = (Output, OutputMany, SelectByHash, ToAgent)
+
+
+class PortlandSwitch(FlowSwitch):
+    """Data plane of a PortLand switch (any level)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        num_ports: int,
+        agent_delay_s: float = 50e-6,
+    ) -> None:
+        super().__init__(sim, name, num_ports, agent_delay_s=agent_delay_s,
+                         miss_to_agent=False)
+        self.rewrite_table = FlowTable()
+        self.control_port: Port | None = None
+
+    def attach_control_port(self) -> Port:
+        """Add the out-of-band port that connects to the fabric manager."""
+        self.control_port = self.add_port()
+        return self.control_port
+
+    # ------------------------------------------------------------------
+    # Pipeline
+
+    def receive(self, frame: EthernetFrame, in_port: Port) -> None:
+        if self.control_port is not None and in_port is self.control_port:
+            # Control-network delivery goes straight to the agent.
+            self.punt_to_agent(frame, in_port, "control")
+            return
+        if frame.ethertype == ETHERTYPE_LDP:
+            self.punt_to_agent(frame, in_port, "ldp")
+            return
+        if self.rx_tap is not None:
+            self.rx_tap(frame, in_port)
+
+        current = frame
+        rewrite = self.rewrite_table.lookup(current, in_port.index)
+        if rewrite is not None:
+            rewrite.touch(current)
+            if any(isinstance(a, _TERMINAL_ACTIONS) for a in rewrite.actions):
+                self.apply_actions(current, in_port, rewrite.actions)
+                return
+            current = self._apply_rewrites(current, rewrite.actions)
+
+        entry = self.table.lookup(current, in_port.index)
+        if entry is None:
+            self.miss_drops += 1
+            return
+        entry.touch(current)
+        self.apply_actions(current, in_port, entry.actions)
+
+    def _apply_rewrites(self, frame: EthernetFrame, actions) -> EthernetFrame:
+        current = frame
+        for action in actions:
+            if isinstance(action, SetEthSrc):
+                current = current.copy()
+                current.src = action.mac
+            elif isinstance(action, SetEthDst):
+                current = current.copy()
+                current.dst = action.mac
+        return current
+
+    def inject(self, frame: EthernetFrame, from_port_index: int = -1) -> None:
+        """Run a software-generated frame through the forwarding table
+        only (used by the agent to source frames into the fabric).
+
+        Punt entries are skipped: the agent has already processed this
+        frame, so re-punting it would loop or blackhole.
+        """
+        entry = self.table.lookup(frame, from_port_index, skip_punts=True)
+        if entry is None:
+            self.miss_drops += 1
+            return
+        entry.touch(frame)
+        # A fake ingress that can never equal a real port index, so
+        # OutputMany/flood exclusion works naturally.
+        self.apply_actions(frame, _VirtualIngress(from_port_index), entry.actions)
+
+    def send_control(self, frame: EthernetFrame) -> bool:
+        """Transmit on the control port."""
+        if self.control_port is None:
+            return False
+        return self.control_port.send(frame)
+
+
+class _VirtualIngress:
+    """Stands in for an ingress port on injected frames."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index

@@ -1,0 +1,129 @@
+"""The fabric manager's view of the topology.
+
+Built from the :class:`NeighborReport` messages switches send as LDP
+converges, combined with the fault matrix. All fault-recovery and
+multicast computations run against this view — the fabric manager never
+peeks at simulator internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.portland.messages import NO_POD, NO_POSITION, SwitchLevel
+
+
+@dataclass
+class SwitchRecord:
+    """Everything the fabric manager knows about one switch."""
+
+    switch_id: int
+    level: SwitchLevel = SwitchLevel.UNKNOWN
+    pod: int | None = None
+    position: int | None = None
+    #: port index -> (neighbor switch id, neighbor level)
+    neighbors: dict[int, tuple[int, SwitchLevel]] = field(default_factory=dict)
+
+    def update_from_report(self, level: SwitchLevel, pod: int, position: int,
+                           neighbors) -> None:
+        """Apply a NeighborReport."""
+        self.level = level
+        self.pod = None if pod == NO_POD else pod
+        self.position = None if position == NO_POSITION else position
+        self.neighbors = {port: (nbr, lvl) for port, nbr, lvl in neighbors}
+
+
+class FabricView:
+    """Topology queries over the switch records plus the fault matrix.
+
+    The *physical* structure (who is wired to whom, core groups) ignores
+    the fault matrix; :meth:`alive` applies it.
+    """
+
+    def __init__(self, switches: dict[int, SwitchRecord],
+                 failed: set[frozenset[int]]) -> None:
+        self.switches = switches
+        self.failed = failed
+
+    # ------------------------------------------------------------------
+    # Structure
+
+    def level(self, switch_id: int) -> SwitchLevel:
+        record = self.switches.get(switch_id)
+        return record.level if record is not None else SwitchLevel.UNKNOWN
+
+    def pod(self, switch_id: int) -> int | None:
+        record = self.switches.get(switch_id)
+        return record.pod if record is not None else None
+
+    def position(self, switch_id: int) -> int | None:
+        record = self.switches.get(switch_id)
+        return record.position if record is not None else None
+
+    def edges(self) -> list[int]:
+        """All edge-switch ids."""
+        return [sid for sid, r in self.switches.items()
+                if r.level is SwitchLevel.EDGE]
+
+    def aggregations(self) -> list[int]:
+        """All aggregation-switch ids."""
+        return [sid for sid, r in self.switches.items()
+                if r.level is SwitchLevel.AGGREGATION]
+
+    def cores(self) -> list[int]:
+        """All core-switch ids."""
+        return [sid for sid, r in self.switches.items()
+                if r.level is SwitchLevel.CORE]
+
+    def edges_in_pod(self, pod: int) -> list[int]:
+        return [sid for sid in self.edges() if self.pod(sid) == pod]
+
+    def aggs_in_pod(self, pod: int) -> list[int]:
+        return [sid for sid in self.aggregations() if self.pod(sid) == pod]
+
+    def neighbors_of(self, switch_id: int) -> dict[int, int]:
+        """port -> neighbor id for one switch (physical)."""
+        record = self.switches.get(switch_id)
+        if record is None:
+            return {}
+        return {port: nbr for port, (nbr, _lvl) in record.neighbors.items()}
+
+    def port_toward(self, switch_id: int, neighbor_id: int) -> int | None:
+        """The (lowest) port on ``switch_id`` wired to ``neighbor_id``."""
+        for port, nbr in sorted(self.neighbors_of(switch_id).items()):
+            if nbr == neighbor_id:
+                return port
+        return None
+
+    def adjacent(self, a: int, b: int) -> bool:
+        """Physically wired (either side reported it)."""
+        return (b in self.neighbors_of(a).values()
+                or a in self.neighbors_of(b).values())
+
+    def alive(self, a: int, b: int) -> bool:
+        """Wired and not in the fault matrix."""
+        return self.adjacent(a, b) and frozenset((a, b)) not in self.failed
+
+    # ------------------------------------------------------------------
+    # Core groups
+
+    def core_neighbors(self, agg_id: int) -> list[int]:
+        """Cores physically wired to an aggregation switch."""
+        return [nbr for nbr in self.neighbors_of(agg_id).values()
+                if self.level(nbr) is SwitchLevel.CORE]
+
+    def agg_group(self, agg_id: int) -> set[int]:
+        """All aggregation switches sharing a core with ``agg_id``.
+
+        In a fat tree this is "the same index in every pod" — the set a
+        remote edge must avoid when this aggregation switch loses a link
+        to an edge below it. Includes ``agg_id`` itself. Derived purely
+        from physical wiring, so it also works on irregular multi-rooted
+        trees.
+        """
+        group = {agg_id}
+        for core in self.core_neighbors(agg_id):
+            for nbr in self.neighbors_of(core).values():
+                if self.level(nbr) is SwitchLevel.AGGREGATION:
+                    group.add(nbr)
+        return group

@@ -1,0 +1,131 @@
+"""Event objects and the pending-event queue for the discrete-event kernel.
+
+The queue is a binary heap ordered by ``(time, priority, sequence)``.
+``sequence`` is a monotonically increasing tie-breaker so that two events
+scheduled for the same instant at the same priority always fire in the
+order they were scheduled — this is what makes simulations reproducible.
+
+Cancellation is *lazy*: cancelled events stay in the heap but are skipped
+when popped. This keeps cancellation O(1), which matters because protocol
+timers (LDP keepalives, TCP retransmission timers) are cancelled and
+re-armed far more often than they fire.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 100
+#: Priority for events that must run before ordinary ones at the same time
+#: (e.g. link-state changes should be visible to packets arriving "now").
+PRIORITY_HIGH = 10
+#: Priority for bookkeeping that should run after everything else.
+PRIORITY_LOW = 1000
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`EventQueue.push` (normally via
+    :meth:`repro.sim.simulator.Simulator.schedule`) and should be treated
+    as opaque handles whose only useful operations are :meth:`cancel` and
+    the read-only properties below.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self._cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.9f} prio={self.priority} {name} {state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events still queued."""
+        return self._live
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Queue ``callback(*args)`` to run at simulated ``time``."""
+        if time != time:  # NaN guard: NaN would corrupt heap ordering.
+            raise SimulationError("event time is NaN")
+        event = Event(time, priority, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Inform the queue that one queued event was cancelled.
+
+        Called by the simulator so ``len()`` stays accurate; the heap entry
+        itself is discarded lazily on pop.
+        """
+        self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,123 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns the virtual clock, the pending-event queue, the
+trace bus, and the deterministic random streams. Every other object in
+this library (links, hosts, switches, the fabric manager) holds a
+reference to one simulator and schedules its behaviour through it.
+
+Typical driver loop::
+
+    sim = Simulator(seed=1)
+    ...build topology, hosts, agents...
+    sim.run(until=10.0)          # simulated seconds
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_NORMAL, Event, EventQueue
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceBus
+
+
+class Simulator:
+    """Discrete-event simulation kernel with a virtual clock in seconds."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.trace = TraceBus()
+        self.random = RandomStreams(seed)
+        #: Count of events executed so far (for progress reporting/limits).
+        self.events_executed = 0
+        #: Optional hard cap on executed events; ``run`` raises when hit.
+        self.max_events: int | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self._queue.push(self._now + delay, callback, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        return self._queue.push(time, callback, args, priority)
+
+    def cancel(self, event: Event | None) -> None:
+        """Cancel a pending event. ``None`` and already-cancelled are no-ops."""
+        if event is None or event.cancelled:
+            return
+        event.cancel()
+        self._queue.note_cancelled()
+
+    def run(self, until: float | None = None) -> float:
+        """Execute events until the queue drains or the clock passes ``until``.
+
+        Returns the final simulated time. When ``until`` is given, the clock
+        is advanced to exactly ``until`` even if the queue drained earlier,
+        so back-to-back ``run`` calls compose predictably.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                assert event is not None  # peek_time() said non-empty
+                self._now = event.time
+                self.events_executed += 1
+                if self.max_events is not None and self.events_executed > self.max_events:
+                    raise SimulationError(f"exceeded max_events={self.max_events}")
+                event.callback(*event.args)
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one event. Returns ``False`` if the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self.events_executed += 1
+        event.callback(*event.args)
+        return True
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run` loop to return after the current event."""
+        self._stopped = True
+
+    def pending_events(self) -> int:
+        """Number of live events waiting in the queue."""
+        return len(self._queue)

@@ -1,0 +1,112 @@
+"""Lightweight publish/subscribe trace bus for simulation events.
+
+Components emit trace records (packet drops, link failures, flow-table
+changes, control messages) under a *category* string; metrics collectors
+and tests subscribe to the categories they care about. When nobody is
+subscribed to a category, emitting costs one dict lookup — cheap enough
+to leave tracing statements in hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+TraceHandler = Callable[["TraceRecord"], None]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace emission.
+
+    Attributes:
+        time: Simulated time of the emission.
+        category: Dot-separated category, e.g. ``"link.drop"``.
+        source: Name of the emitting component (node/link name).
+        detail: Free-form payload fields.
+    """
+
+    time: float
+    category: str
+    source: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceBus:
+    """Routes :class:`TraceRecord` objects to subscribed handlers.
+
+    Subscriptions match exact categories or prefixes: a handler subscribed
+    to ``"link"`` receives ``"link.drop"`` and ``"link.fail"`` records. The
+    wildcard category ``"*"`` receives everything.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, list[TraceHandler]] = {}
+        self._any_handlers: list[TraceHandler] = []
+        self._active_prefixes: set[str] = set()
+
+    def subscribe(self, category: str, handler: TraceHandler) -> None:
+        """Register ``handler`` for ``category`` (or ``"*"`` for all)."""
+        if category == "*":
+            self._any_handlers.append(handler)
+            return
+        self._handlers.setdefault(category, []).append(handler)
+        self._active_prefixes.add(category.split(".", 1)[0])
+
+    def unsubscribe(self, category: str, handler: TraceHandler) -> None:
+        """Remove a previously registered handler. Missing ones are ignored."""
+        if category == "*":
+            if handler in self._any_handlers:
+                self._any_handlers.remove(handler)
+            return
+        handlers = self._handlers.get(category, [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def wants(self, category: str) -> bool:
+        """Whether emitting ``category`` would reach any handler.
+
+        Lets callers skip building expensive detail dicts when tracing is
+        off: ``if bus.wants("link.drop"): bus.emit(...)``.
+        """
+        if self._any_handlers:
+            return True
+        return category.split(".", 1)[0] in self._active_prefixes
+
+    def emit(
+        self,
+        time: float,
+        category: str,
+        source: str,
+        **detail: Any,
+    ) -> None:
+        """Publish a record to all handlers matching ``category``."""
+        if not self._any_handlers and category.split(".", 1)[0] not in self._active_prefixes:
+            return
+        record = TraceRecord(time=time, category=category, source=source, detail=detail)
+        for handler in self._any_handlers:
+            handler(record)
+        # Deliver to the exact category and every dotted prefix of it.
+        part = category
+        while True:
+            for handler in self._handlers.get(part, ()):
+                handler(record)
+            cut = part.rfind(".")
+            if cut < 0:
+                break
+            part = part[:cut]
+
+
+class TraceCollector:
+    """Convenience subscriber that accumulates records into a list."""
+
+    def __init__(self, bus: TraceBus, category: str) -> None:
+        self.records: list[TraceRecord] = []
+        bus.subscribe(category, self.records.append)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def times(self) -> list[float]:
+        """Emission times, in order."""
+        return [record.time for record in self.records]

@@ -1,0 +1,48 @@
+"""Switch substrate: flow tables, chassis, and the baseline designs."""
+
+from repro.switching.flow_table import (
+    Action,
+    FlowEntry,
+    FlowTable,
+    Match,
+    Output,
+    OutputMany,
+    SelectByHash,
+    SetEthDst,
+    SetEthSrc,
+    ToAgent,
+    flow_hash,
+    mac_prefix_mask,
+)
+from repro.switching.l3router import L3Router, Subnet
+from repro.switching.learning import LearningSwitch
+from repro.switching.linkstate import LinkStateDatabase, Lsa, shortest_paths
+from repro.switching.stp import Bpdu, BridgeId, PortState, StpProcess
+from repro.switching.switch import FlowSwitch, SwitchAgent
+
+__all__ = [
+    "Action",
+    "Bpdu",
+    "BridgeId",
+    "FlowEntry",
+    "FlowSwitch",
+    "FlowTable",
+    "L3Router",
+    "LearningSwitch",
+    "LinkStateDatabase",
+    "Lsa",
+    "Match",
+    "Output",
+    "OutputMany",
+    "PortState",
+    "SelectByHash",
+    "SetEthDst",
+    "SetEthSrc",
+    "StpProcess",
+    "Subnet",
+    "SwitchAgent",
+    "ToAgent",
+    "flow_hash",
+    "mac_prefix_mask",
+    "shortest_paths",
+]

@@ -1,0 +1,256 @@
+"""OpenFlow-like flow tables: masked matches, priorities, actions.
+
+PortLand's data plane is expressed entirely in this vocabulary, exactly
+as the paper implemented it on OpenFlow switches: longest-prefix PMAC
+forwarding becomes masked ``eth_dst`` matches at descending priorities;
+ARP interception is an ``ethertype`` match whose action is "send to the
+local agent"; ECMP is a select-by-hash action over the uplink set.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import SwitchError
+from repro.net.addresses import MacAddress
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.net.ipv4 import IPPROTO_TCP, IPPROTO_UDP, IPv4Packet
+from repro.net.packet import coerce
+from repro.net.tcp_wire import TcpSegment
+from repro.net.udp import UdpDatagram
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+MAC_MASK_ALL = (1 << 48) - 1
+
+
+def mac_prefix_mask(prefix_bits: int) -> int:
+    """A mask covering the top ``prefix_bits`` of a 48-bit MAC."""
+    if not 0 <= prefix_bits <= 48:
+        raise SwitchError(f"bad MAC prefix length: {prefix_bits}")
+    if prefix_bits == 0:
+        return 0
+    return MAC_MASK_ALL ^ ((1 << (48 - prefix_bits)) - 1)
+
+
+@dataclass(frozen=True)
+class Match:
+    """Fields a frame must satisfy. ``None`` means wildcard.
+
+    ``eth_dst``/``eth_src`` match under their masks: the frame field is
+    AND-ed with the mask and compared to ``value & mask``.
+    """
+
+    in_port: int | None = None
+    eth_dst: MacAddress | None = None
+    eth_dst_mask: int = MAC_MASK_ALL
+    eth_src: MacAddress | None = None
+    eth_src_mask: int = MAC_MASK_ALL
+    ethertype: int | None = None
+    ip_proto: int | None = None
+
+    def matches(self, frame: EthernetFrame, in_port: int) -> bool:
+        """Whether ``frame`` arriving on ``in_port`` satisfies this match."""
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.ethertype is not None and frame.ethertype != self.ethertype:
+            return False
+        if self.eth_dst is not None:
+            if (frame.dst.value & self.eth_dst_mask) != (
+                self.eth_dst.value & self.eth_dst_mask
+            ):
+                return False
+        if self.eth_src is not None:
+            if (frame.src.value & self.eth_src_mask) != (
+                self.eth_src.value & self.eth_src_mask
+            ):
+                return False
+        if self.ip_proto is not None:
+            if frame.ethertype != ETHERTYPE_IPV4 or frame.payload is None:
+                return False
+            try:
+                packet = coerce(frame.payload, IPv4Packet)
+            except Exception:
+                return False
+            if packet.protocol != self.ip_proto:
+                return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# Actions
+
+
+@dataclass(frozen=True)
+class Output:
+    """Forward out one port."""
+
+    port: int
+
+
+@dataclass(frozen=True)
+class OutputMany:
+    """Replicate out a set of ports (multicast/flood entries)."""
+
+    ports: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SelectByHash:
+    """ECMP: pick one port from ``ports`` by the frame's flow hash."""
+
+    ports: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SetEthDst:
+    """Rewrite the destination MAC (PMAC→AMAC at egress edge)."""
+
+    mac: MacAddress
+
+
+@dataclass(frozen=True)
+class SetEthSrc:
+    """Rewrite the source MAC (AMAC→PMAC at ingress edge)."""
+
+    mac: MacAddress
+
+
+@dataclass(frozen=True)
+class ToAgent:
+    """Punt the frame to the switch's software agent (packet-in)."""
+
+    reason: str = ""
+
+
+Action = Output | OutputMany | SelectByHash | SetEthDst | SetEthSrc | ToAgent
+
+
+@dataclass
+class FlowEntry:
+    """One table entry: match + priority + action list + counters."""
+
+    match: Match
+    priority: int
+    actions: tuple[Action, ...]
+    name: str = ""
+    packets: int = 0
+    bytes: int = 0
+
+    def touch(self, frame: EthernetFrame) -> None:
+        """Update hit counters."""
+        self.packets += 1
+        self.bytes += frame.wire_length()
+
+
+class FlowTable:
+    """Priority-ordered flow table with first-match semantics."""
+
+    def __init__(self) -> None:
+        self._entries: list[FlowEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def install(
+        self,
+        match: Match,
+        actions: tuple[Action, ...] | list[Action],
+        priority: int = 100,
+        name: str = "",
+    ) -> FlowEntry:
+        """Add an entry. Entries with equal priority keep insertion order."""
+        entry = FlowEntry(match=match, priority=priority,
+                          actions=tuple(actions), name=name)
+        # Insert before the first entry with lower priority.
+        index = len(self._entries)
+        for i, existing in enumerate(self._entries):
+            if existing.priority < priority:
+                index = i
+                break
+        self._entries.insert(index, entry)
+        return entry
+
+    def remove(self, entry: FlowEntry) -> bool:
+        """Remove one entry. Returns False if it was not present."""
+        try:
+            self._entries.remove(entry)
+            return True
+        except ValueError:
+            return False
+
+    def remove_by_name(self, name: str) -> int:
+        """Remove all entries whose ``name`` equals ``name``; returns count."""
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if e.name != name]
+        return before - len(self._entries)
+
+    def remove_where(self, predicate) -> int:
+        """Remove all entries for which ``predicate(entry)`` is true."""
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if not predicate(e)]
+        return before - len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    def lookup(self, frame: EthernetFrame, in_port: int,
+               skip_punts: bool = False) -> FlowEntry | None:
+        """Highest-priority entry matching ``frame`` on ``in_port``.
+
+        With ``skip_punts`` true, entries that would punt to the agent are
+        passed over — used for agent-*sourced* frames, which must be
+        forwarded rather than bounced back into software.
+        """
+        for entry in self._entries:
+            if skip_punts and any(isinstance(a, ToAgent) for a in entry.actions):
+                continue
+            if entry.match.matches(frame, in_port):
+                return entry
+        return None
+
+
+# ----------------------------------------------------------------------
+# Flow hashing (for ECMP)
+
+
+def flow_hash(frame: EthernetFrame) -> int:
+    """Deterministic per-flow hash over L2–L4 headers.
+
+    All packets of a transport flow hash identically, so ECMP never
+    reorders a flow — the property the paper relies on for TCP.
+    """
+    material = frame.src.to_bytes() + frame.dst.to_bytes()
+    material += frame.ethertype.to_bytes(2, "big")
+    if frame.ethertype == ETHERTYPE_IPV4 and frame.payload is not None:
+        try:
+            packet = coerce(frame.payload, IPv4Packet)
+        except Exception:
+            packet = None
+        if packet is not None:
+            material += packet.src.to_bytes() + packet.dst.to_bytes()
+            material += bytes([packet.protocol])
+            ports = _transport_ports(packet)
+            if ports is not None:
+                material += ports[0].to_bytes(2, "big") + ports[1].to_bytes(2, "big")
+    return zlib.crc32(material)
+
+
+def _transport_ports(packet: IPv4Packet) -> tuple[int, int] | None:
+    try:
+        if packet.protocol == IPPROTO_UDP:
+            datagram = coerce(packet.payload, UdpDatagram)
+            return (datagram.src_port, datagram.dst_port)
+        if packet.protocol == IPPROTO_TCP:
+            segment = coerce(packet.payload, TcpSegment)
+            return (segment.src_port, segment.dst_port)
+    except Exception:
+        return None
+    return None

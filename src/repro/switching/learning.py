@@ -1,0 +1,133 @@
+"""The flat layer-2 baseline: MAC learning + flooding (+ optional STP).
+
+This is "existing layer 2" in the paper's Table 1 comparison: fully
+plug-and-play, but forwarding state grows with the number of hosts,
+every unknown/broadcast destination floods the fabric, and loop freedom
+requires a spanning tree that disables most of a fat tree's links.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import MacAddress
+from repro.net.ethernet import EthernetFrame
+from repro.net.link import Port
+from repro.net.node import Node
+from repro.sim.simulator import Simulator
+from repro.switching.stp import ETHERTYPE_STP, StpProcess
+
+#: 802.1D default MAC-entry aging time.
+DEFAULT_MAC_AGING_S = 300.0
+
+
+class LearningSwitch(Node):
+    """A transparent bridge with source learning and flooding."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        num_ports: int,
+        mac_aging_s: float = DEFAULT_MAC_AGING_S,
+    ) -> None:
+        super().__init__(sim, name, num_ports)
+        self.mac_aging_s = mac_aging_s
+        self._mac_table: dict[MacAddress, tuple[int, float]] = {}
+        self.stp: StpProcess | None = None
+        #: Measurement counters.
+        self.flooded_frames = 0
+        self.forwarded_frames = 0
+
+    # ------------------------------------------------------------------
+    # Control-plane attachment
+
+    def enable_stp(self, **stp_kwargs) -> StpProcess:
+        """Attach and start a spanning-tree process."""
+        self.stp = StpProcess(self, **stp_kwargs)
+        self.stp.start()
+        return self.stp
+
+    # ------------------------------------------------------------------
+    # Data path
+
+    def receive(self, frame: EthernetFrame, in_port: Port) -> None:
+        if frame.ethertype == ETHERTYPE_STP:
+            if self.stp is not None:
+                self.stp.on_bpdu(frame, in_port)
+            return
+        if self.stp is not None and not self.stp.can_forward(in_port.index):
+            # Blocking/listening ports discard data frames; learning-state
+            # ports learn but still do not forward.
+            if self.stp.can_learn(in_port.index):
+                self._learn(frame.src, in_port.index)
+            return
+        self._learn(frame.src, in_port.index)
+        if frame.dst.is_multicast:
+            self._flood(frame, in_port)
+            return
+        destination = self._lookup(frame.dst)
+        if destination is None:
+            self._flood(frame, in_port)
+        elif destination != in_port.index:
+            self.forwarded_frames += 1
+            self.ports[destination].send(frame)
+        # Destination is on the ingress segment: filter (drop).
+
+    def _learn(self, src: MacAddress, port_index: int) -> None:
+        if src.is_multicast:
+            return
+        self._mac_table[src] = (port_index, self.sim.now)
+
+    def _lookup(self, dst: MacAddress) -> int | None:
+        entry = self._mac_table.get(dst)
+        if entry is None:
+            return None
+        port_index, learned_at = entry
+        if self.sim.now - learned_at > self.mac_aging_s:
+            del self._mac_table[dst]
+            return None
+        if not self.ports[port_index].is_up:
+            del self._mac_table[dst]
+            return None
+        if self.stp is not None and not self.stp.can_forward(port_index):
+            return None
+        return port_index
+
+    def _flood(self, frame: EthernetFrame, in_port: Port) -> None:
+        self.flooded_frames += 1
+        allowed = self.stp.forwarding_ports() if self.stp is not None else None
+        self.flood_ports(frame, in_port, allowed)
+
+    def flood_ports(self, frame: EthernetFrame, in_port: Port,
+                    allowed: set[int] | None) -> None:
+        """Replicate ``frame`` out every eligible port except the ingress."""
+        for port in self.ports:
+            if port.index == in_port.index or not port.is_up:
+                continue
+            if allowed is not None and port.index not in allowed:
+                continue
+            port.send(frame.copy())
+
+    # ------------------------------------------------------------------
+    # State inspection (Table 1 metrics)
+
+    def mac_table_size(self) -> int:
+        """Live (unexpired) MAC-table entries — the per-switch forwarding
+        state of the flat-L2 design."""
+        now = self.sim.now
+        return sum(1 for _p, t in self._mac_table.values()
+                   if now - t <= self.mac_aging_s)
+
+    def flush_mac_table(self) -> None:
+        """Drop all learned entries (called by STP on state changes)."""
+        self._mac_table.clear()
+
+    def on_port_down(self, port: Port) -> None:
+        self._mac_table = {
+            mac: (p, t) for mac, (p, t) in self._mac_table.items() if p != port.index
+        }
+        if self.stp is not None:
+            self.stp.on_port_down(port)
+
+    def on_port_up(self, port: Port) -> None:
+        if self.stp is not None:
+            self.stp.on_port_up(port)

@@ -1,0 +1,160 @@
+"""Link-state routing machinery for the layer-3 baseline.
+
+Message formats (hello, LSA), the link-state database, and the ECMP
+shortest-path computation. The OSPF-like router node that uses these
+lives in :mod:`repro.switching.l3router`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+from repro.net.packet import Packet
+
+#: Experimental ethertype carrying routing-protocol messages.
+ETHERTYPE_ROUTING = 0x88B8
+
+MSG_HELLO = 1
+MSG_LSA = 2
+
+
+@dataclass(frozen=True)
+class HelloMessage(Packet):
+    """Neighbor discovery/liveness beacon sent on router-router ports."""
+
+    router_id: int
+
+    def encode(self) -> bytes:
+        return struct.pack("!BI", MSG_HELLO, self.router_id)
+
+    def wire_length(self) -> int:
+        return 5
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HelloMessage":
+        if len(data) < 5:
+            raise CodecError("hello too short")
+        kind, router_id = struct.unpack_from("!BI", data, 0)
+        if kind != MSG_HELLO:
+            raise CodecError(f"not a hello: type={kind}")
+        return cls(router_id)
+
+
+@dataclass(frozen=True)
+class Lsa(Packet):
+    """A router LSA: adjacencies plus attached prefixes.
+
+    ``neighbors`` is a tuple of ``(router_id, cost)``; ``prefixes`` a
+    tuple of ``(network_value, prefix_len)``.
+    """
+
+    origin: int
+    seq: int
+    neighbors: tuple[tuple[int, int], ...]
+    prefixes: tuple[tuple[int, int], ...]
+
+    def encode(self) -> bytes:
+        head = struct.pack("!BIIHH", MSG_LSA, self.origin, self.seq,
+                           len(self.neighbors), len(self.prefixes))
+        body = b"".join(struct.pack("!IH", rid, cost) for rid, cost in self.neighbors)
+        body += b"".join(struct.pack("!IB", net, plen) for net, plen in self.prefixes)
+        return head + body
+
+    def wire_length(self) -> int:
+        return 13 + 6 * len(self.neighbors) + 5 * len(self.prefixes)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Lsa":
+        if len(data) < 13:
+            raise CodecError("LSA too short")
+        kind, origin, seq, n_nbr, n_pfx = struct.unpack_from("!BIIHH", data, 0)
+        if kind != MSG_LSA:
+            raise CodecError(f"not an LSA: type={kind}")
+        offset = 13
+        neighbors = []
+        for _ in range(n_nbr):
+            rid, cost = struct.unpack_from("!IH", data, offset)
+            neighbors.append((rid, cost))
+            offset += 6
+        prefixes = []
+        for _ in range(n_pfx):
+            net, plen = struct.unpack_from("!IB", data, offset)
+            prefixes.append((net, plen))
+            offset += 5
+        return cls(origin, seq, tuple(neighbors), tuple(prefixes))
+
+
+class LinkStateDatabase:
+    """Stores the freshest LSA per origin."""
+
+    def __init__(self) -> None:
+        self._lsas: dict[int, Lsa] = {}
+
+    def __len__(self) -> int:
+        return len(self._lsas)
+
+    def get(self, origin: int) -> Lsa | None:
+        """The stored LSA for ``origin``, if any."""
+        return self._lsas.get(origin)
+
+    def consider(self, lsa: Lsa) -> bool:
+        """Store ``lsa`` if it is newer than what we have.
+
+        Returns True when the database changed (→ re-flood and re-SPF).
+        """
+        current = self._lsas.get(lsa.origin)
+        if current is not None and current.seq >= lsa.seq:
+            return False
+        self._lsas[lsa.origin] = lsa
+        return True
+
+    def all_lsas(self) -> list[Lsa]:
+        """Every stored LSA."""
+        return list(self._lsas.values())
+
+
+def shortest_paths(db: LinkStateDatabase, source: int) -> dict[int, set[int]]:
+    """ECMP Dijkstra over the LSA graph.
+
+    Returns ``{router_id: set of first-hop neighbor ids}`` for every
+    reachable router. Adjacencies count only when *both* endpoints
+    advertise them (two-way check), so a half-dead link never carries
+    traffic.
+    """
+    graph: dict[int, dict[int, int]] = {}
+    for lsa in db.all_lsas():
+        graph[lsa.origin] = dict(lsa.neighbors)
+
+    def linked(u: int, v: int) -> int | None:
+        cost_uv = graph.get(u, {}).get(v)
+        cost_vu = graph.get(v, {}).get(u)
+        if cost_uv is None or cost_vu is None:
+            return None
+        return cost_uv
+
+    dist: dict[int, int] = {source: 0}
+    first_hops: dict[int, set[int]] = {source: set()}
+    heap: list[tuple[int, int]] = [(0, source)]
+    visited: set[int] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in visited:
+            continue
+        visited.add(u)
+        for v in graph.get(u, {}):
+            cost = linked(u, v)
+            if cost is None:
+                continue
+            nd = d + cost
+            if v not in dist or nd < dist[v]:
+                dist[v] = nd
+                first_hops[v] = {v} if u == source else set(first_hops[u])
+                heapq.heappush(heap, (nd, v))
+            elif nd == dist[v]:
+                extra = {v} if u == source else first_hops[u]
+                first_hops.setdefault(v, set()).update(extra)
+    first_hops.pop(source, None)
+    return first_hops

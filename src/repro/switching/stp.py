@@ -1,0 +1,348 @@
+"""Simplified IEEE 802.1D spanning tree — the classic-Ethernet baseline.
+
+This is the protocol PortLand's evaluation compares against implicitly:
+a flat learning-switch fabric needs a spanning tree for loop freedom,
+pays for it with blocked links (no multipath) and tens-of-seconds
+convergence (max-age expiry plus two forward-delay transitions).
+
+Faithful parts: bridge election by (root id, cost, bridge id, port id)
+vectors, hello origination at the root with relay down the tree, max-age
+expiry of stored port information, and the blocking → listening →
+learning → forwarding ladder timed by ``forward_delay``.
+
+Simplified parts: no topology-change notification machinery (MAC tables
+age out on their own) and message age is approximated by expiring stored
+info ``max_age`` after receipt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.errors import CodecError
+from repro.net.addresses import MacAddress
+from repro.net.ethernet import EthernetFrame
+from repro.net.link import Port
+from repro.net.packet import Packet, coerce
+from repro.sim.process import PeriodicTask, Timer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.switching.learning import LearningSwitch
+
+#: Experimental ethertype used to carry BPDUs in this simulator (real STP
+#: rides LLC; the distinction does not matter here).
+ETHERTYPE_STP = 0x88B7
+#: The standard bridge-group multicast address BPDUs are sent to.
+STP_MULTICAST = MacAddress.parse("01:80:c2:00:00:00")
+
+DEFAULT_HELLO_S = 2.0
+DEFAULT_MAX_AGE_S = 20.0
+DEFAULT_FORWARD_DELAY_S = 15.0
+DEFAULT_BRIDGE_PRIORITY = 32768
+#: 802.1D-1998 path cost for 1 Gb/s.
+PORT_PATH_COST = 4
+
+
+def bridge_mac_for(name: str) -> MacAddress:
+    """A stable, unique bridge MAC derived from the switch name."""
+    digest = hashlib.sha256(name.encode()).digest()
+    value = int.from_bytes(digest[:6], "big")
+    # Clear multicast bit, set locally-administered bit.
+    value &= ~(1 << 40)
+    value |= 1 << 41
+    return MacAddress(value)
+
+
+@dataclass(frozen=True, order=True)
+class BridgeId:
+    """(priority, MAC) — lower wins the root election."""
+
+    priority: int
+    mac_value: int
+
+    def encode(self) -> bytes:
+        return struct.pack("!H", self.priority) + self.mac_value.to_bytes(6, "big")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BridgeId":
+        (priority,) = struct.unpack_from("!H", data, 0)
+        return cls(priority, int.from_bytes(data[2:8], "big"))
+
+
+@dataclass(frozen=True)
+class Bpdu(Packet):
+    """A configuration BPDU (the only kind this model needs)."""
+
+    root: BridgeId
+    root_cost: int
+    bridge: BridgeId
+    port_id: int
+
+    _WIRE = 8 + 4 + 8 + 2
+
+    def priority_vector(self) -> tuple:
+        """The comparison key used throughout 802.1D."""
+        return (self.root, self.root_cost, self.bridge, self.port_id)
+
+    def encode(self) -> bytes:
+        return (self.root.encode() + struct.pack("!I", self.root_cost)
+                + self.bridge.encode() + struct.pack("!H", self.port_id))
+
+    def wire_length(self) -> int:
+        return self._WIRE
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Bpdu":
+        if len(data) < cls._WIRE:
+            raise CodecError(f"BPDU too short: {len(data)} bytes")
+        root = BridgeId.decode(data[0:8])
+        (root_cost,) = struct.unpack_from("!I", data, 8)
+        bridge = BridgeId.decode(data[12:20])
+        (port_id,) = struct.unpack_from("!H", data, 20)
+        return cls(root, root_cost, bridge, port_id)
+
+
+class PortState(Enum):
+    """802.1D port states (disabled is modelled by the link layer)."""
+
+    BLOCKING = "blocking"
+    LISTENING = "listening"
+    LEARNING = "learning"
+    FORWARDING = "forwarding"
+
+
+class _PortInfo:
+    """Per-port STP state."""
+
+    __slots__ = ("state", "stored", "expires_at", "transition_timer", "designated")
+
+    def __init__(self) -> None:
+        self.state = PortState.BLOCKING
+        self.stored: Bpdu | None = None  # best BPDU heard on this segment
+        self.expires_at = 0.0
+        self.transition_timer: Timer | None = None
+        self.designated = False
+
+
+class StpProcess:
+    """Runs spanning tree on one :class:`LearningSwitch`."""
+
+    def __init__(
+        self,
+        switch: "LearningSwitch",
+        priority: int = DEFAULT_BRIDGE_PRIORITY,
+        hello_s: float = DEFAULT_HELLO_S,
+        max_age_s: float = DEFAULT_MAX_AGE_S,
+        forward_delay_s: float = DEFAULT_FORWARD_DELAY_S,
+    ) -> None:
+        self.switch = switch
+        self.sim = switch.sim
+        self.bridge_id = BridgeId(priority, bridge_mac_for(switch.name).value)
+        self.hello_s = hello_s
+        self.max_age_s = max_age_s
+        self.forward_delay_s = forward_delay_s
+        self._ports: dict[int, _PortInfo] = {
+            port.index: _PortInfo() for port in switch.ports
+        }
+        self.root_id = self.bridge_id
+        self.root_cost = 0
+        self.root_port: int | None = None
+        self._hello_task = PeriodicTask(self.sim, hello_s, self._on_hello,
+                                        jitter=0.1, rng_name=f"stp/{switch.name}")
+        self._expiry_task = PeriodicTask(self.sim, 1.0, self._check_expiry,
+                                         jitter=0.1, rng_name=f"stpx/{switch.name}")
+        #: BPDUs transmitted (control-overhead measurement).
+        self.bpdus_sent = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self) -> None:
+        """Begin hellos and expiry checks; recompute initial roles."""
+        self._hello_task.start(0.0)
+        self._expiry_task.start()
+        self._recompute()
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this bridge currently believes it is the root."""
+        return self.root_id == self.bridge_id
+
+    def port_state(self, port_index: int) -> PortState:
+        """Current 802.1D state of a port."""
+        return self._ports[port_index].state
+
+    def can_forward(self, port_index: int) -> bool:
+        """Whether data frames may be sent/received on this port."""
+        return self._ports[port_index].state is PortState.FORWARDING
+
+    def can_learn(self, port_index: int) -> bool:
+        """Whether source addresses may be learned on this port."""
+        return self._ports[port_index].state in (PortState.LEARNING,
+                                                 PortState.FORWARDING)
+
+    def forwarding_ports(self) -> set[int]:
+        """Indices of all forwarding ports."""
+        return {i for i, info in self._ports.items()
+                if info.state is PortState.FORWARDING}
+
+    # ------------------------------------------------------------------
+    # BPDU handling
+
+    def on_bpdu(self, frame: EthernetFrame, in_port: Port) -> None:
+        """Process a received BPDU."""
+        bpdu = coerce(frame.payload, Bpdu)
+        info = self._ports[in_port.index]
+        my_offer = self._designated_bpdu(in_port.index)
+        if info.stored is None or bpdu.priority_vector() <= info.stored.priority_vector():
+            # Better (or refreshed) info for this segment.
+            if bpdu.priority_vector() < my_offer.priority_vector():
+                info.stored = bpdu
+                info.expires_at = self.sim.now + self.max_age_s
+            else:
+                # We are (still) the designated bridge on this segment.
+                info.stored = None
+            self._recompute()
+            # Hellos propagate down the tree: refreshed root information
+            # arriving on the root port is relayed out designated ports.
+            if in_port.index == self.root_port:
+                self.relay_from_root_port()
+        # Inferior BPDUs on our designated port: reassert by sending ours.
+        elif info.designated:
+            self._send_bpdu(in_port.index)
+
+    def on_port_down(self, port: Port) -> None:
+        """Carrier loss: segment info is instantly invalid."""
+        info = self._ports[port.index]
+        info.stored = None
+        self._set_state(port.index, PortState.BLOCKING)
+        self._recompute()
+
+    def on_port_up(self, port: Port) -> None:
+        """Carrier restored."""
+        self._recompute()
+
+    # ------------------------------------------------------------------
+    # Periodic work
+
+    def _on_hello(self) -> None:
+        if self.is_root:
+            for index, info in self._ports.items():
+                if info.designated and self.switch.ports[index].is_up:
+                    self._send_bpdu(index)
+
+    def _check_expiry(self) -> None:
+        expired = False
+        for info in self._ports.values():
+            if info.stored is not None and self.sim.now >= info.expires_at:
+                info.stored = None
+                expired = True
+        if expired:
+            self._recompute()
+
+    # ------------------------------------------------------------------
+    # Role computation
+
+    def _designated_bpdu(self, port_index: int) -> Bpdu:
+        """The BPDU we would transmit on ``port_index``."""
+        return Bpdu(self.root_id, self.root_cost, self.bridge_id, port_index)
+
+    def _recompute(self) -> None:
+        # Elect root: best stored vector vs. ourselves.
+        best_port: int | None = None
+        best_vector: tuple | None = None
+        for index, info in self._ports.items():
+            if info.stored is None or not self.switch.ports[index].is_up:
+                continue
+            candidate = (info.stored.root, info.stored.root_cost + PORT_PATH_COST,
+                         info.stored.bridge, info.stored.port_id)
+            if best_vector is None or candidate < best_vector:
+                best_vector = candidate
+                best_port = index
+        if best_vector is not None and best_vector[0] < self.bridge_id:
+            self.root_id = best_vector[0]
+            self.root_cost = best_vector[1]
+            self.root_port = best_port
+        else:
+            self.root_id = self.bridge_id
+            self.root_cost = 0
+            self.root_port = None
+
+        # Assign roles per port.
+        for index, info in self._ports.items():
+            port = self.switch.ports[index]
+            if not port.is_up:
+                info.designated = False
+                self._set_state(index, PortState.BLOCKING)
+                continue
+            if index == self.root_port:
+                info.designated = False
+                self._begin_forwarding_ladder(index)
+                continue
+            my_offer = self._designated_bpdu(index)
+            if info.stored is None or my_offer.priority_vector() < info.stored.priority_vector():
+                was_designated = info.designated
+                info.designated = True
+                self._begin_forwarding_ladder(index)
+                if not was_designated:
+                    self._send_bpdu(index)
+            else:
+                info.designated = False
+                self._set_state(index, PortState.BLOCKING)
+
+    def _begin_forwarding_ladder(self, port_index: int) -> None:
+        info = self._ports[port_index]
+        if info.state in (PortState.LISTENING, PortState.LEARNING,
+                          PortState.FORWARDING):
+            return  # already climbing or there
+        self._set_state(port_index, PortState.LISTENING)
+        self._arm_transition(port_index)
+
+    def _arm_transition(self, port_index: int) -> None:
+        info = self._ports[port_index]
+        if info.transition_timer is None:
+            info.transition_timer = Timer(self.sim, self._advance_state, port_index)
+        info.transition_timer.start(self.forward_delay_s)
+
+    def _advance_state(self, port_index: int) -> None:
+        info = self._ports[port_index]
+        if info.state is PortState.LISTENING:
+            self._set_state(port_index, PortState.LEARNING)
+            self._arm_transition(port_index)
+        elif info.state is PortState.LEARNING:
+            self._set_state(port_index, PortState.FORWARDING)
+
+    def _set_state(self, port_index: int, state: PortState) -> None:
+        info = self._ports[port_index]
+        if info.state is state:
+            return
+        if state is PortState.BLOCKING and info.transition_timer is not None:
+            info.transition_timer.stop()
+        info.state = state
+        self.sim.trace.emit(self.sim.now, "stp.state", self.switch.name,
+                            port=port_index, state=state.value)
+        if state is PortState.BLOCKING:
+            self.switch.flush_mac_table()
+
+    # ------------------------------------------------------------------
+    # Transmission / relay
+
+    def _send_bpdu(self, port_index: int) -> None:
+        port = self.switch.ports[port_index]
+        if not port.is_up:
+            return
+        bpdu = self._designated_bpdu(port_index)
+        frame = EthernetFrame(STP_MULTICAST, bridge_mac_for(self.switch.name),
+                              ETHERTYPE_STP, bpdu)
+        self.bpdus_sent += 1
+        port.send(frame)
+
+    def relay_from_root_port(self) -> None:
+        """Called after receiving root-path BPDUs: propagate down the tree."""
+        for index, info in self._ports.items():
+            if info.designated and self.switch.ports[index].is_up:
+                self._send_bpdu(index)

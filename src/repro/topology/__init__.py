@@ -1,0 +1,42 @@
+"""Topology structures and fabric instantiation."""
+
+from repro.topology.builder import (
+    LinkParams,
+    PortlandFabric,
+    build_portland_fabric,
+)
+from repro.topology.fattree import (
+    FatTree,
+    HostSpec,
+    WireSpec,
+    build_fat_tree,
+    host_ip,
+    host_mac,
+)
+
+__all__ = [
+    "FatTree",
+    "HostSpec",
+    "LinkParams",
+    "PortlandFabric",
+    "WireSpec",
+    "build_fat_tree",
+    "build_portland_fabric",
+    "host_ip",
+    "host_mac",
+]
+
+from repro.topology.baselines import L2Fabric, L3Fabric, build_l2_fabric, build_l3_fabric
+from repro.topology.multirooted import build_multirooted_tree
+from repro.topology.validate import bisection_paths, to_graph, validate_tree
+
+__all__ += [
+    "L2Fabric",
+    "L3Fabric",
+    "bisection_paths",
+    "build_l2_fabric",
+    "build_l3_fabric",
+    "build_multirooted_tree",
+    "to_graph",
+    "validate_tree",
+]

@@ -1,0 +1,185 @@
+"""Instantiate a PortLand fabric (switches + agents + FM + hosts) on a
+fat-tree structure, plus the convergence helpers experiments rely on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.host.host import Host
+from repro.net.link import Link
+from repro.portland.agent import PortlandAgent
+from repro.portland.config import PortlandConfig
+from repro.portland.control import ControlNetwork
+from repro.portland.fabric_manager import FabricManager
+from repro.portland.switch import PortlandSwitch
+from repro.sim.simulator import Simulator
+from repro.topology.fattree import FatTree, build_fat_tree
+
+
+@dataclass
+class LinkParams:
+    """Physical parameters applied to data-plane links."""
+
+    rate_bps: float = 1_000_000_000.0
+    delay_s: float = 1e-6
+    queue_bytes: int = 512 * 1024
+    #: Whether switch-switch link failures raise carrier events. Turn
+    #: off to force LDP-timeout-based detection (Fig. 10's regime).
+    carrier_detect: bool = True
+    #: Host links usually keep carrier detection (NIC unplug is visible).
+    host_carrier_detect: bool = True
+
+
+@dataclass
+class PortlandFabric:
+    """A fully wired PortLand deployment."""
+
+    sim: Simulator
+    tree: FatTree
+    config: PortlandConfig
+    switches: dict[str, PortlandSwitch] = field(default_factory=dict)
+    agents: dict[str, PortlandAgent] = field(default_factory=dict)
+    hosts: dict[str, Host] = field(default_factory=dict)
+    links: dict[tuple[str, str], Link] = field(default_factory=dict)
+    fabric_manager: FabricManager | None = None
+    control: ControlNetwork | None = None
+
+    def host_list(self) -> list[Host]:
+        """Hosts in deterministic (spec) order."""
+        return [self.hosts[spec.name] for spec in self.tree.hosts]
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The data link between two named nodes."""
+        link = self.links.get((a, b)) or self.links.get((b, a))
+        if link is None:
+            raise TopologyError(f"no link between {a!r} and {b!r}")
+        return link
+
+    def start(self) -> None:
+        """Start every switch agent (begins LDP)."""
+        for agent in self.agents.values():
+            agent.start()
+
+    def located(self) -> bool:
+        """Whether every switch has completed location discovery."""
+        return all(agent.ldp.location_complete for agent in self.agents.values())
+
+    def run_until_located(self, timeout_s: float = 5.0,
+                          step_s: float = 0.02) -> float:
+        """Run the simulation until LDP converges everywhere.
+
+        Returns the convergence time. Raises on timeout — discovery that
+        does not converge is an error worth failing loudly on.
+        """
+        deadline = self.sim.now + timeout_s
+        while self.sim.now < deadline:
+            if self.located():
+                return self.sim.now
+            self.sim.run(until=min(self.sim.now + step_s, deadline))
+        if self.located():
+            return self.sim.now
+        missing = [name for name, agent in self.agents.items()
+                   if not agent.ldp.location_complete]
+        raise TopologyError(f"LDP did not converge; missing: {missing[:8]}"
+                            f" (+{max(0, len(missing) - 8)} more)")
+
+    def announce_hosts(self) -> None:
+        """Have every host send a gratuitous ARP.
+
+        Triggers edge discovery + fabric-manager registration for all
+        hosts, so experiments start from a warm registry (as a
+        long-running data center would be).
+        """
+        for host in self.hosts.values():
+            host.gratuitous_arp()
+
+    def all_hosts_registered(self) -> bool:
+        """Whether the FM registry covers every host."""
+        assert self.fabric_manager is not None
+        return all(spec.ip in self.fabric_manager.hosts_by_ip
+                   for spec in self.tree.hosts)
+
+    def run_until_registered(self, timeout_s: float = 5.0,
+                             step_s: float = 0.02) -> float:
+        """Run until the FM knows every host (after announce_hosts)."""
+        deadline = self.sim.now + timeout_s
+        while self.sim.now < deadline:
+            if self.all_hosts_registered():
+                return self.sim.now
+            self.sim.run(until=min(self.sim.now + step_s, deadline))
+        if self.all_hosts_registered():
+            return self.sim.now
+        raise TopologyError("hosts did not register with the fabric manager")
+
+    def agent_for(self, switch_name: str) -> PortlandAgent:
+        """Agent of a named switch."""
+        return self.agents[switch_name]
+
+    def edge_agent_of(self, host_name: str) -> PortlandAgent:
+        """The edge agent serving a named host."""
+        spec = next(s for s in self.tree.hosts if s.name == host_name)
+        return self.agents[spec.edge_switch]
+
+
+def build_portland_fabric(
+    sim: Simulator,
+    k: int = 4,
+    config: PortlandConfig | None = None,
+    link_params: LinkParams | None = None,
+    tree: FatTree | None = None,
+) -> PortlandFabric:
+    """Build (but do not start) a PortLand fabric on a k-ary fat tree."""
+    config = config or PortlandConfig()
+    params = link_params or LinkParams()
+    tree = tree or build_fat_tree(k)
+    fabric = PortlandFabric(sim=sim, tree=tree, config=config)
+
+    # Port counts come from the wiring (irregular multi-rooted trees have
+    # different radices per level), with the fat-tree k as the floor.
+    ports_needed: dict[str, int] = {}
+    for wire in tree.switch_wires + tree.host_wires:
+        ports_needed[wire.node_a] = max(ports_needed.get(wire.node_a, 0),
+                                        wire.port_a + 1)
+        ports_needed[wire.node_b] = max(ports_needed.get(wire.node_b, 0),
+                                        wire.port_b + 1)
+    for name in tree.edge_names + tree.agg_names + tree.core_names:
+        switch = PortlandSwitch(sim, name, max(tree.k, ports_needed.get(name, 0)),
+                                agent_delay_s=config.agent_delay_s)
+        agent = PortlandAgent(switch, config)
+        switch.attach_agent(agent)
+        fabric.switches[name] = switch
+        fabric.agents[name] = agent
+
+    control = ControlNetwork(sim, config)
+    fabric.control = control
+    fabric.fabric_manager = control.fabric_manager
+    for agent in fabric.agents.values():
+        control.connect(agent)
+
+    for spec in tree.hosts:
+        fabric.hosts[spec.name] = Host(sim, spec.name, spec.mac, spec.ip)
+
+    for wire in tree.switch_wires:
+        link = Link(
+            sim,
+            fabric.switches[wire.node_a].port(wire.port_a),
+            fabric.switches[wire.node_b].port(wire.port_b),
+            rate_bps=params.rate_bps,
+            delay_s=params.delay_s,
+            queue_bytes=params.queue_bytes,
+            carrier_detect=params.carrier_detect,
+        )
+        fabric.links[(wire.node_a, wire.node_b)] = link
+    for wire in tree.host_wires:
+        link = Link(
+            sim,
+            fabric.hosts[wire.node_a].port(wire.port_a),
+            fabric.switches[wire.node_b].port(wire.port_b),
+            rate_bps=params.rate_bps,
+            delay_s=params.delay_s,
+            queue_bytes=params.queue_bytes,
+            carrier_detect=params.host_carrier_detect,
+        )
+        fabric.links[(wire.node_a, wire.node_b)] = link
+    return fabric

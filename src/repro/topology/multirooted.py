@@ -1,0 +1,78 @@
+"""Generic multi-rooted trees — PortLand's claimed generality.
+
+The paper's mechanisms (LDP, PMACs, fault handling) are defined for any
+multi-rooted tree, not just the canonical fat tree. This builder makes
+irregular instances: arbitrary numbers of pods, edge/aggregation
+switches per pod, cores per group, and hosts per edge. The fat tree is
+the special case ``pods = k, edge = agg = cores_per_group = hosts = k/2``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.fattree import FatTree, HostSpec, WireSpec, host_ip, host_mac
+
+
+def build_multirooted_tree(
+    num_pods: int,
+    edges_per_pod: int,
+    aggs_per_pod: int,
+    cores_per_group: int,
+    hosts_per_edge: int,
+) -> FatTree:
+    """Construct an irregular multi-rooted tree.
+
+    Wiring: every edge switch connects to every aggregation switch in its
+    pod; aggregation switch ``a`` connects to core group ``a`` (of size
+    ``cores_per_group``); each core in group ``a`` connects to aggregation
+    index ``a`` of every pod. Total cores: ``aggs_per_pod ×
+    cores_per_group``.
+    """
+    if min(num_pods, edges_per_pod, aggs_per_pod,
+           cores_per_group, hosts_per_edge) < 1:
+        raise TopologyError("all multirooted-tree dimensions must be >= 1")
+    if num_pods < 2:
+        raise TopologyError("need at least 2 pods for a meaningful fabric")
+
+    # ``k`` records the largest radix (used as a default port count).
+    k = max(hosts_per_edge + aggs_per_pod,
+            edges_per_pod + cores_per_group,
+            num_pods)
+    tree = FatTree(k=k)
+
+    for pod in range(num_pods):
+        for e in range(edges_per_pod):
+            tree.edge_names.append(f"edge-p{pod}-s{e}")
+        for a in range(aggs_per_pod):
+            tree.agg_names.append(f"agg-p{pod}-s{a}")
+    num_cores = aggs_per_pod * cores_per_group
+    for c in range(num_cores):
+        tree.core_names.append(f"core-{c}")
+
+    # Hosts on edge ports [0, hosts_per_edge); uplinks after them.
+    for pod in range(num_pods):
+        for e in range(edges_per_pod):
+            edge = f"edge-p{pod}-s{e}"
+            for i in range(hosts_per_edge):
+                name = f"host-p{pod}-e{e}-{i}"
+                tree.hosts.append(HostSpec(
+                    name=name, pod=pod, edge=e, index=i,
+                    mac=host_mac(pod, e, i), ip=host_ip(pod, e, i),
+                    edge_switch=edge, edge_port=i,
+                ))
+                tree.host_wires.append(WireSpec(name, 0, edge, i))
+
+    for pod in range(num_pods):
+        for e in range(edges_per_pod):
+            for a in range(aggs_per_pod):
+                tree.switch_wires.append(WireSpec(
+                    f"edge-p{pod}-s{e}", hosts_per_edge + a,
+                    f"agg-p{pod}-s{a}", e,
+                ))
+        for a in range(aggs_per_pod):
+            for j in range(cores_per_group):
+                tree.switch_wires.append(WireSpec(
+                    f"agg-p{pod}-s{a}", edges_per_pod + j,
+                    f"core-{a * cores_per_group + j}", pod,
+                ))
+    return tree

@@ -1,0 +1,25 @@
+"""Workload generation: traffic matrices, failures, ARP storms."""
+
+from repro.workloads.arp_workload import ArpStorm
+from repro.workloads.failures import FailureInjector, pick_failures, switch_link_names
+from repro.workloads.traffic import (
+    UdpFlowSet,
+    inter_pod_pairs,
+    random_permutation_pairs,
+    stride_pairs,
+)
+
+__all__ = [
+    "ArpStorm",
+    "FailureInjector",
+    "UdpFlowSet",
+    "inter_pod_pairs",
+    "pick_failures",
+    "random_permutation_pairs",
+    "stride_pairs",
+    "switch_link_names",
+]
+
+from repro.workloads.shuffle import FlowResult, ShuffleWorkload
+
+__all__ += ["FlowResult", "ShuffleWorkload"]

@@ -1,0 +1,147 @@
+"""Failure injection for the convergence experiments (Figs. 10–12)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import TopologyError
+from repro.net.link import Link
+from repro.topology.fattree import FatTree
+
+
+def switch_link_names(tree: FatTree,
+                      kinds: tuple[str, ...] = ("edge-agg", "agg-core"),
+                      ) -> list[tuple[str, str]]:
+    """Switch-switch link name pairs of the requested kinds."""
+    agg_names = set(tree.agg_names)
+    core_names = set(tree.core_names)
+    edge_names = set(tree.edge_names)
+    selected = []
+    for wire in tree.switch_wires:
+        a, b = wire.node_a, wire.node_b
+        if ((a in edge_names and b in agg_names)
+                or (a in agg_names and b in edge_names)):
+            kind = "edge-agg"
+        elif ((a in agg_names and b in core_names)
+              or (a in core_names and b in agg_names)):
+            kind = "agg-core"
+        else:
+            kind = "other"
+        if kind in kinds:
+            selected.append((a, b))
+    return selected
+
+
+def valley_free_connected(tree: FatTree,
+                          failed: set[frozenset[str]]) -> bool:
+    """Whether every edge-switch pair still has an up*-down* path.
+
+    PortLand forwarding never sends a packet back up once it has started
+    descending, so plain graph connectivity is not enough: a fabric can
+    be connected yet unroutable ("valley" paths are forbidden). This is
+    the reachability notion convergence experiments must preserve.
+    """
+    def alive(a: str, b: str) -> bool:
+        return frozenset((a, b)) not in failed
+
+    # edge -> alive aggs above it; agg -> alive cores above it.
+    aggs_of_edge: dict[str, set[str]] = {name: set() for name in tree.edge_names}
+    cores_of_agg: dict[str, set[str]] = {name: set() for name in tree.agg_names}
+    agg_names = set(tree.agg_names)
+    core_names = set(tree.core_names)
+    for wire in tree.switch_wires:
+        a, b = wire.node_a, wire.node_b
+        if not alive(a, b):
+            continue
+        if a in aggs_of_edge and b in agg_names:
+            aggs_of_edge[a].add(b)
+        elif b in aggs_of_edge and a in agg_names:
+            aggs_of_edge[b].add(a)
+        elif a in cores_of_agg and b in core_names:
+            cores_of_agg[a].add(b)
+        elif b in cores_of_agg and a in core_names:
+            cores_of_agg[b].add(a)
+
+    cores_of_edge = {
+        edge: {core for agg in aggs for core in cores_of_agg[agg]}
+        for edge, aggs in aggs_of_edge.items()
+    }
+    edges = tree.edge_names
+    for i, src in enumerate(edges):
+        for dst in edges[i + 1:]:
+            if aggs_of_edge[src] & aggs_of_edge[dst]:
+                continue  # shared aggregation switch (same pod)
+            if not cores_of_edge[src] & cores_of_edge[dst]:
+                return False
+    return True
+
+
+def pick_failures(
+    tree: FatTree,
+    count: int,
+    rng: random.Random,
+    kinds: tuple[str, ...] = ("edge-agg", "agg-core"),
+    keep_connected: bool = True,
+) -> list[tuple[str, str]]:
+    """Choose ``count`` distinct links to fail.
+
+    With ``keep_connected`` (the paper's implicit assumption — it
+    measures *convergence*, which requires an alternative path to
+    exist), candidates that would break up*-down* reachability between
+    any pair of edge switches are re-drawn.
+    """
+    candidates = switch_link_names(tree, kinds)
+    if count > len(candidates):
+        raise TopologyError(
+            f"asked for {count} failures but only {len(candidates)} links")
+
+    chosen: list[tuple[str, str]] = []
+    failed: set[frozenset[str]] = set()
+    pool = candidates[:]
+    rng.shuffle(pool)
+    for link in pool:
+        if len(chosen) == count:
+            break
+        if not keep_connected:
+            chosen.append(link)
+            continue
+        failed.add(frozenset(link))
+        if valley_free_connected(tree, failed):
+            chosen.append(link)
+        else:
+            failed.discard(frozenset(link))
+    if len(chosen) < count:
+        raise TopologyError(
+            f"could only pick {len(chosen)}/{count} failures without "
+            "breaking up*-down* reachability")
+    return chosen
+
+
+class FailureInjector:
+    """Schedules link failures (and optional recoveries) on a fabric."""
+
+    def __init__(self, sim, link_lookup) -> None:
+        """``link_lookup(a, b) -> Link`` resolves names to link objects
+        (e.g. ``fabric.link_between``)."""
+        self.sim = sim
+        self._lookup = link_lookup
+        self.failed: list[Link] = []
+
+    def fail_at(self, time_s: float, links: list[tuple[str, str]]) -> None:
+        """Fail all ``links`` simultaneously at ``time_s``."""
+        self.sim.schedule_at(time_s, self._fail_now, links)
+
+    def recover_at(self, time_s: float) -> None:
+        """Recover everything failed so far at ``time_s``."""
+        self.sim.schedule_at(time_s, self._recover_now)
+
+    def _fail_now(self, links: list[tuple[str, str]]) -> None:
+        for a, b in links:
+            link = self._lookup(a, b)
+            link.fail()
+            self.failed.append(link)
+
+    def _recover_now(self) -> None:
+        for link in self.failed:
+            link.recover()
+        self.failed.clear()

@@ -1,0 +1,130 @@
+"""All-to-all ("shuffle") workloads — the east-west traffic that
+motivates the paper's introduction (web search, MapReduce).
+
+Every host sends a fixed-size TCP transfer to every other host; the
+workload records per-flow completion times, from which the usual
+datacenter metrics (mean/median/p99 FCT, aggregate goodput) fall out.
+This is the traffic pattern where the fat tree's multipath — and hence
+PortLand's ECMP forwarding — earns its keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.host.apps.tcp_bulk import TcpBulkSender, TcpSink
+from repro.host.host import Host
+from repro.sim.simulator import Simulator
+from repro.sim.stats import SummaryStats, summarize
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one shuffle flow."""
+
+    src: str
+    dst: str
+    started_at: float
+    completed_at: float | None = None
+
+    @property
+    def fct(self) -> float | None:
+        """Flow completion time, or ``None`` while running."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class ShuffleWorkload:
+    """An N×(N−1) all-to-all TCP transfer.
+
+    Flows start staggered by ``stagger_s`` (grouped per sender) so the
+    handshake burst does not synchronize. Call :meth:`start`, run the
+    simulator, then read :meth:`completed`/:meth:`fct_stats`.
+    """
+
+    sim: Simulator
+    hosts: list[Host]
+    bytes_per_flow: int = 100_000
+    base_port: int = 30000
+    stagger_s: float = 0.001
+    results: list[FlowResult] = field(default_factory=list)
+    _sinks: list[TcpSink] = field(default_factory=list)
+    _started: bool = False
+
+    @property
+    def num_flows(self) -> int:
+        n = len(self.hosts)
+        return n * (n - 1)
+
+    def start(self) -> None:
+        """Create all sinks and schedule every flow's start."""
+        if self._started:
+            raise RuntimeError("shuffle already started")
+        self._started = True
+        # One sink port per sender on each receiver keeps demux trivial.
+        for j, dst in enumerate(self.hosts):
+            for i, _src in enumerate(self.hosts):
+                if i == j:
+                    continue
+                self._sinks.append(TcpSink(dst, self.base_port + i))
+        for i, src in enumerate(self.hosts):
+            delay = i * self.stagger_s
+            for j, dst in enumerate(self.hosts):
+                if i == j:
+                    continue
+                self.sim.schedule(delay, self._launch, src, dst, i)
+
+    def _launch(self, src: Host, dst: Host, sender_index: int) -> None:
+        result = FlowResult(src=src.name, dst=dst.name,
+                            started_at=self.sim.now)
+        self.results.append(result)
+        bulk = TcpBulkSender(src, dst.ip, self.base_port + sender_index,
+                             total_bytes=self.bytes_per_flow)
+
+        def on_finished(_result=result) -> None:
+            if _result.completed_at is None:
+                _result.completed_at = self.sim.now
+
+        bulk.conn.on_finished = on_finished
+
+    # ------------------------------------------------------------------
+    # Results
+
+    def completed(self) -> int:
+        """Flows that have fully finished (data delivered + closed)."""
+        return sum(1 for r in self.results if r.completed_at is not None)
+
+    def all_done(self) -> bool:
+        """Whether every flow completed."""
+        return (len(self.results) == self.num_flows
+                and self.completed() == self.num_flows)
+
+    def run_until_done(self, timeout_s: float = 60.0,
+                       step_s: float = 0.25) -> float:
+        """Drive the simulator until the shuffle finishes."""
+        deadline = self.sim.now + timeout_s
+        while self.sim.now < deadline:
+            if self.all_done():
+                return self.sim.now
+            self.sim.run(until=min(self.sim.now + step_s, deadline))
+        if not self.all_done():
+            raise TimeoutError(
+                f"shuffle incomplete: {self.completed()}/{self.num_flows}")
+        return self.sim.now
+
+    def fct_stats(self) -> SummaryStats:
+        """Summary statistics of flow completion times (seconds)."""
+        fcts = [r.fct for r in self.results if r.fct is not None]
+        return summarize(fcts)
+
+    def total_bytes_moved(self) -> int:
+        """Payload bytes delivered across all sinks."""
+        return sum(sink.total_bytes for sink in self._sinks)
+
+    def aggregate_goodput_bps(self, elapsed_s: float) -> float:
+        """Delivered bits per second over ``elapsed_s``."""
+        if elapsed_s <= 0:
+            return 0.0
+        return self.total_bytes_moved() * 8 / elapsed_s

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.topology import build_portland_fabric
+from repro.topology.builder import PortlandFabric
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def fabric(sim: Simulator) -> PortlandFabric:
+    """A converged k=4 PortLand fabric with all hosts registered."""
+    fabric = build_portland_fabric(sim, k=4)
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    return fabric

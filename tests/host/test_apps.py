@@ -1,0 +1,116 @@
+"""Unit tests for the application-layer traffic sources and sinks."""
+
+import pytest
+
+from repro.host import Host
+from repro.host.apps import (
+    MulticastSender,
+    TcpBulkSender,
+    TcpSink,
+    UdpEchoServer,
+    UdpPinger,
+    UdpStreamReceiver,
+    UdpStreamSender,
+)
+from repro.net import Link, ip, mac
+from repro.sim import Simulator
+
+
+def pair(sim):
+    h1 = Host(sim, "h1", mac("00:00:00:00:00:01"), ip("10.0.0.1"))
+    h2 = Host(sim, "h2", mac("00:00:00:00:00:02"), ip("10.0.0.2"))
+    link = Link(sim, h1.nic, h2.nic, carrier_detect=False)
+    return h1, h2, link
+
+
+def test_udp_stream_rate_and_sequencing():
+    sim = Simulator(seed=1)
+    h1, h2, _ = pair(sim)
+    rx = UdpStreamReceiver(h2, 5000)
+    tx = UdpStreamSender(h1, h2.ip, 5000, rate_pps=500, payload_bytes=32)
+    tx.start(0.0)
+    sim.run(until=1.0)
+    assert 495 <= rx.received <= 505
+    seqs = [seq for _t, seq, _d in rx.arrivals]
+    assert seqs == sorted(seqs)  # in order on a FIFO link
+    assert rx.rate.total() == rx.received
+    tx.stop()
+    count = rx.received
+    sim.run(until=1.5)
+    assert rx.received == count
+
+
+def test_udp_stream_rejects_bad_rate():
+    sim = Simulator(seed=1)
+    h1, h2, _ = pair(sim)
+    with pytest.raises(ValueError):
+        UdpStreamSender(h1, h2.ip, 5000, rate_pps=0)
+
+
+def test_receiver_max_gap_with_outage():
+    sim = Simulator(seed=2)
+    h1, h2, link = pair(sim)
+    rx = UdpStreamReceiver(h2, 5000)
+    tx = UdpStreamSender(h1, h2.ip, 5000, rate_pps=1000)
+    tx.start()
+    sim.schedule(0.4, link.fail)
+    sim.schedule(0.6, link.recover)
+    sim.run(until=1.0)
+    gap, start, end = rx.max_gap(0.0, 1.0)
+    assert gap == pytest.approx(0.2, abs=0.05)
+    assert 0.35 <= start <= 0.45
+
+
+def test_pinger_counts_losses():
+    sim = Simulator(seed=3)
+    h1, h2, link = pair(sim)
+    UdpEchoServer(h2, 7)
+    pinger = UdpPinger(h1, h2.ip)
+    pinger.ping()
+    sim.run(until=0.1)
+    link.fail()
+    pinger.ping()
+    sim.run(until=2.0)
+    assert pinger.answered == 1
+    assert pinger.lost == 1
+
+
+def test_tcp_bulk_finite_transfer_closes():
+    sim = Simulator(seed=4)
+    h1, h2, _ = pair(sim)
+    sink = TcpSink(h2, 9000)
+    bulk = TcpBulkSender(h1, h2.ip, 9000, total_bytes=500_000)
+    sim.run(until=10.0)
+    assert sink.total_bytes == 500_000
+    assert bulk.conn.state.value in ("CLOSED", "TIME_WAIT")
+    assert bulk.acked_bytes >= 500_000
+
+
+def test_tcp_sink_multiple_connections():
+    sim = Simulator(seed=5)
+    h1, h2, _ = pair(sim)
+    sink = TcpSink(h2, 9000)
+    b1 = TcpBulkSender(h1, h2.ip, 9000, total_bytes=10_000)
+    b2 = TcpBulkSender(h1, h2.ip, 9000, total_bytes=20_000)
+    sim.run(until=5.0)
+    assert len(sink.connections) == 2
+    assert sink.total_bytes == 30_000
+
+
+def test_goodput_series_shape():
+    sim = Simulator(seed=6)
+    h1, h2, _ = pair(sim)
+    sink = TcpSink(h2, 9000, rate_bin_s=0.1)
+    TcpBulkSender(h1, h2.ip, 9000)
+    sim.run(until=0.55)
+    series = sink.goodput_series(0.0, 0.5)
+    assert len(series) == 5
+    assert all(v >= 0 for _t, v in series)
+    assert series[-1][1] * 8 > 0.5e9  # cruising near line rate
+
+
+def test_multicast_sender_requires_group_address():
+    sim = Simulator(seed=7)
+    h1, _h2, _ = pair(sim)
+    with pytest.raises(ValueError):
+        MulticastSender(h1, ip("10.0.0.5"), 7500)

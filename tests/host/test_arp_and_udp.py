@@ -1,0 +1,189 @@
+"""Host-stack tests: ARP resolution, caching, UDP sockets, IGMP."""
+
+import pytest
+
+from repro.errors import HostError
+from repro.host import Host
+from repro.host.arp_cache import ArpCache
+from repro.net import AppData, Link, ip, mac
+from repro.sim import Simulator
+
+
+def two_hosts(sim):
+    h1 = Host(sim, "h1", mac("00:00:00:00:00:01"), ip("10.0.0.1"))
+    h2 = Host(sim, "h2", mac("00:00:00:00:00:02"), ip("10.0.0.2"))
+    Link(sim, h1.nic, h2.nic)
+    return h1, h2
+
+
+# ----------------------------------------------------------------------
+# ArpCache unit tests
+
+
+def test_cache_lookup_insert_invalidate():
+    cache = ArpCache(timeout_s=10.0)
+    m = mac("00:00:00:00:00:09")
+    assert cache.lookup(ip("10.0.0.9"), now=0.0) is None
+    cache.insert(ip("10.0.0.9"), m, now=0.0)
+    assert cache.lookup(ip("10.0.0.9"), now=5.0) == m
+    assert cache.invalidate(ip("10.0.0.9"))
+    assert not cache.invalidate(ip("10.0.0.9"))
+    assert cache.lookup(ip("10.0.0.9"), now=5.0) is None
+
+
+def test_cache_entries_expire():
+    cache = ArpCache(timeout_s=1.0)
+    cache.insert(ip("10.0.0.9"), mac("00:00:00:00:00:09"), now=0.0)
+    assert cache.lookup(ip("10.0.0.9"), now=2.0) is None
+    assert cache.hits == 0 and cache.misses == 1
+
+
+def test_cache_hit_miss_counters():
+    cache = ArpCache()
+    cache.insert(ip("10.0.0.9"), mac("00:00:00:00:00:09"), now=0.0)
+    cache.lookup(ip("10.0.0.9"), now=0.0)
+    cache.lookup(ip("10.0.0.8"), now=0.0)
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+# ----------------------------------------------------------------------
+# ARP protocol between hosts
+
+
+def test_arp_resolution_then_delivery():
+    sim = Simulator()
+    h1, h2 = two_hosts(sim)
+    sock2 = h2.udp_socket(5000)
+    sock1 = h1.udp_socket()
+    sock1.sendto(h2.ip, 5000, AppData(10))
+    sim.run(until=0.1)
+    assert len(sock2.inbox) == 1
+    # Both sides learned each other's mapping from the exchange.
+    assert h1.arp_cache.lookup(h2.ip, sim.now) == h2.mac
+    assert h2.arp_cache.lookup(h1.ip, sim.now) == h1.mac
+    assert h1.arp_requests_sent == 1
+
+
+def test_arp_retry_and_give_up():
+    sim = Simulator()
+    h1 = Host(sim, "h1", mac("00:00:00:00:00:01"), ip("10.0.0.1"),
+              arp_retries=3, arp_retry_interval_s=0.5)
+    h2 = Host(sim, "h2", mac("00:00:00:00:00:02"), ip("10.0.0.2"))
+    link = Link(sim, h1.nic, h2.nic, carrier_detect=False)
+    link.fail()
+    h1.udp_socket().sendto(ip("10.0.0.99"), 5000, AppData(10))
+    sim.run(until=10.0)
+    assert h1.arp_requests_sent == 3
+    assert h1.unresolved_drops == 1
+
+
+def test_arp_queue_limit_drops_oldest():
+    sim = Simulator()
+    h1, h2 = two_hosts(sim)
+    h2.nic.enabled = False  # silently eat everything
+    sock = h1.udp_socket()
+    for _ in range(5):
+        sock.sendto(ip("10.0.0.50"), 5000, AppData(10))
+    assert h1.unresolved_drops == 2  # queue limit 3
+
+
+def test_gratuitous_arp_updates_peer_cache():
+    sim = Simulator()
+    h1, h2 = two_hosts(sim)
+    h1.gratuitous_arp()
+    sim.run(until=0.01)
+    assert h2.arp_cache.lookup(h1.ip, sim.now) == h1.mac
+
+
+def test_host_ignores_foreign_unicast():
+    sim = Simulator()
+    h1, h2 = two_hosts(sim)
+    sock2 = h2.udp_socket(5000)
+    # Frame addressed to a MAC that is not h2's: the NIC filters it.
+    from repro.net import EthernetFrame, ETHERTYPE_IPV4, IPv4Packet, UdpDatagram
+    from repro.net.ipv4 import IPPROTO_UDP
+    packet = IPv4Packet(h1.ip, h2.ip, IPPROTO_UDP, UdpDatagram(1, 5000, b"x"))
+    h1.nic.send(EthernetFrame(mac("00:00:00:00:00:99"), h1.mac,
+                              ETHERTYPE_IPV4, packet))
+    sim.run(until=0.01)
+    assert sock2.inbox == []
+
+
+# ----------------------------------------------------------------------
+# UDP sockets
+
+
+def test_udp_port_binding_rules():
+    sim = Simulator()
+    h1, _h2 = two_hosts(sim)
+    h1.udp_socket(5000)
+    with pytest.raises(HostError):
+        h1.udp_socket(5000)
+    ephemeral = h1.udp_socket()
+    assert ephemeral.port >= 49152
+
+
+def test_udp_close_releases_port():
+    sim = Simulator()
+    h1, _ = two_hosts(sim)
+    sock = h1.udp_socket(5000)
+    sock.close()
+    h1.udp_socket(5000)  # rebindable
+    with pytest.raises(HostError):
+        sock.sendto(ip("10.0.0.2"), 1, AppData(1))
+
+
+def test_udp_handler_callback():
+    sim = Simulator()
+    h1, h2 = two_hosts(sim)
+    got = []
+    sock2 = h2.udp_socket(5000)
+    sock2.on_datagram = lambda src, sport, payload, now: got.append(
+        (str(src), sport, payload.length))
+    h1.udp_socket(6000).sendto(h2.ip, 5000, AppData(42))
+    sim.run(until=0.1)
+    assert got == [("10.0.0.1", 6000, 42)]
+
+
+def test_udp_to_unbound_port_is_dropped():
+    sim = Simulator()
+    h1, h2 = two_hosts(sim)
+    h1.udp_socket().sendto(h2.ip, 1234, AppData(5))
+    sim.run(until=0.1)  # no crash, nothing delivered
+
+
+# ----------------------------------------------------------------------
+# IGMP / multicast receive filtering
+
+
+def test_join_emits_igmp_and_filters_groups():
+    sim = Simulator()
+    h1, h2 = two_hosts(sim)
+    group = ip("239.1.1.1")
+    sent = []
+    h2.on_igmp_sent = sent.append
+    h2.join_group(group)
+    assert len(sent) == 1 and sent[0].is_join
+
+    sock = h2.udp_socket(7000)
+    h1.udp_socket().sendto(group, 7000, AppData(9))
+    sim.run(until=0.05)
+    assert len(sock.inbox) == 1
+
+    h2.leave_group(group)
+    assert len(sent) == 2 and not sent[1].is_join
+    h1.udp_socket().sendto(group, 7000, AppData(9))
+    sim.run(until=0.1)
+    assert len(sock.inbox) == 1  # no longer delivered
+
+
+def test_join_is_idempotent():
+    sim = Simulator()
+    _h1, h2 = two_hosts(sim)
+    sent = []
+    h2.on_igmp_sent = sent.append
+    group = ip("239.1.1.2")
+    h2.join_group(group)
+    h2.join_group(group)
+    h2.leave_group(ip("239.9.9.9"))  # never joined: no message
+    assert len(sent) == 1

@@ -1,0 +1,232 @@
+"""TCP end-to-end tests: two hosts on one link (optionally lossy)."""
+
+import pytest
+
+from repro.host import Host, TcpState
+from repro.net import Link, ip, mac
+from repro.net.node import Node
+from repro.sim import Simulator
+
+
+def make_pair(sim, rate_bps=1e9, delay_s=10e-6):
+    h1 = Host(sim, "h1", mac("00:00:00:00:00:01"), ip("10.0.0.1"))
+    h2 = Host(sim, "h2", mac("00:00:00:00:00:02"), ip("10.0.0.2"))
+    link = Link(sim, h1.nic, h2.nic, rate_bps=rate_bps, delay_s=delay_s,
+                carrier_detect=False)
+    return h1, h2, link
+
+
+def test_handshake_establishes_both_sides():
+    sim = Simulator()
+    h1, h2, _ = make_pair(sim)
+    accepted = []
+    h2.tcp.listen(80, accepted.append)
+    conn = h1.tcp.connect(h2.ip, 80)
+    established = []
+    conn.on_established = lambda: established.append(sim.now)
+    sim.run(until=1.0)
+    assert conn.state is TcpState.ESTABLISHED
+    assert len(accepted) == 1
+    assert accepted[0].state is TcpState.ESTABLISHED
+    assert established and established[0] < 0.01
+
+
+def test_data_transfer_counts_bytes():
+    sim = Simulator()
+    h1, h2, _ = make_pair(sim)
+    got = []
+    def on_accept(server):
+        server.on_receive = lambda n, t: got.append(n)
+    h2.tcp.listen(80, on_accept)
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_established = lambda: conn.send(100_000)
+    sim.run(until=1.0)
+    assert sum(got) == 100_000
+    assert conn.bytes_acked == 100_000
+
+
+def test_bidirectional_transfer():
+    sim = Simulator()
+    h1, h2, _ = make_pair(sim)
+    got_at_server, got_at_client = [], []
+
+    def on_accept(server):
+        server.on_receive = lambda n, t: got_at_server.append(n)
+        server.send(5000)
+
+    h2.tcp.listen(80, on_accept)
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_receive = lambda n, t: got_at_client.append(n)
+    conn.on_established = lambda: conn.send(7000)
+    sim.run(until=1.0)
+    assert sum(got_at_server) == 7000
+    assert sum(got_at_client) == 5000
+
+
+def test_orderly_close_reaches_closed():
+    sim = Simulator()
+    h1, h2, _ = make_pair(sim)
+    server_closed = []
+    def on_accept(server):
+        server.on_receive = lambda n, t: None
+        server.on_closed = lambda reason: (server_closed.append(reason),
+                                           server.close())
+    h2.tcp.listen(80, on_accept)
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_established = lambda: (conn.send(1000), conn.close())
+    sim.run(until=5.0)
+    assert server_closed == ["peer closed"]
+    assert conn.state in (TcpState.TIME_WAIT, TcpState.CLOSED)
+    sim.run(until=10.0)
+    assert conn.state is TcpState.CLOSED
+    assert conn.key not in h1.tcp.connections
+
+
+def test_syn_to_closed_port_gets_reset():
+    sim = Simulator()
+    h1, h2, _ = make_pair(sim)
+    conn = h1.tcp.connect(h2.ip, 81)  # nobody listening
+    closed = []
+    conn.on_closed = closed.append
+    sim.run(until=1.0)
+    assert conn.state is TcpState.CLOSED
+    assert closed == ["reset by peer"]
+
+
+def test_syn_retransmits_until_peer_appears():
+    sim = Simulator()
+    h1, h2, link = make_pair(sim)
+    link.fail()
+    conn = h1.tcp.connect(h2.ip, 80)
+    h2.tcp.listen(80)
+    sim.schedule(2.5, link.recover)
+    sim.run(until=10.0)
+    assert conn.state is TcpState.ESTABLISHED
+    assert conn.segments_retransmitted >= 1
+
+
+def test_outage_recovery_via_rto():
+    """Mid-transfer outage: the connection survives and resumes roughly
+    one (backed-off) RTO after the path heals — the Fig. 11 mechanism."""
+    sim = Simulator()
+    h1, h2, link = make_pair(sim)
+    received = []
+    def on_accept(server):
+        server.on_receive = lambda n, t: received.append((t, n))
+    h2.tcp.listen(80, on_accept)
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_established = lambda: conn.send(10_000_000)
+    sim.schedule(0.020, link.fail)
+    sim.schedule(0.060, link.recover)
+    sim.run(until=2.0)
+    assert conn.state is TcpState.ESTABLISHED
+    assert sum(n for _t, n in received) == 10_000_000
+    # Find the outage gap in the delivery timeline.
+    times = [t for t, _n in received]
+    gaps = [(t2 - t1, t1) for t1, t2 in zip(times, times[1:])]
+    worst_gap, at = max(gaps)
+    assert 0.04 <= worst_gap <= 0.6
+    assert 0.01 <= at <= 0.1
+
+
+def test_abort_sends_reset():
+    sim = Simulator()
+    h1, h2, _ = make_pair(sim)
+    server_conns = []
+    h2.tcp.listen(80, server_conns.append)
+    conn = h1.tcp.connect(h2.ip, 80)
+    sim.run(until=0.5)
+    closed = []
+    server_conns[0].on_closed = closed.append
+    conn.abort()
+    sim.run(until=1.0)
+    assert conn.state is TcpState.CLOSED
+    assert closed == ["reset by peer"]
+
+
+def test_listener_close_stops_new_connections():
+    sim = Simulator()
+    h1, h2, _ = make_pair(sim)
+    listener = h2.tcp.listen(80)
+    listener.close()
+    conn = h1.tcp.connect(h2.ip, 80)
+    sim.run(until=1.0)
+    assert conn.state is TcpState.CLOSED
+
+
+def test_throughput_saturates_fast_link():
+    sim = Simulator()
+    h1, h2, _ = make_pair(sim)
+    got = []
+    def on_accept(server):
+        server.on_receive = lambda n, t: got.append(n)
+    h2.tcp.listen(80, on_accept)
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_established = lambda: conn.send(100_000_000)
+    sim.run(until=0.5)
+    goodput_bps = sum(got) * 8 / 0.5
+    assert goodput_bps > 0.85e9  # ≥85% of the 1 Gb/s line rate
+
+
+def test_send_on_unopened_connection_rejected():
+    sim = Simulator()
+    h1, h2, _ = make_pair(sim)
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.close()  # close before establishment aborts
+    with pytest.raises(Exception):
+        conn.send(10)
+
+
+def test_delayed_acks_halve_ack_traffic():
+    """With delayed ACKs on the receiver, ~half the ACKs flow and
+    throughput is preserved (the sender is never app/window-starved)."""
+    from repro.net.ethernet import ETHERTYPE_IPV4
+    from repro.net.ipv4 import IPv4Packet
+    from repro.net.packet import coerce
+    from repro.net.tcp_wire import TcpSegment
+
+    def run(delack):
+        sim = Simulator()
+        h1, h2, _ = make_pair(sim)
+        got = []
+
+        def on_accept(server):
+            server.on_receive = lambda n, t: got.append(n)
+
+        h2.tcp.listen(80, on_accept, delayed_ack_s=delack)
+        conn = h1.tcp.connect(h2.ip, 80)
+        conn.on_established = lambda: conn.send(50_000_000)
+        acks = []
+        original = h1.receive
+
+        def spy(frame, in_port):
+            if frame.ethertype == ETHERTYPE_IPV4:
+                seg = coerce(coerce(frame.payload, IPv4Packet).payload,
+                             TcpSegment)
+                if seg.payload_length == 0:
+                    acks.append(seg.ack)
+            original(frame, in_port)
+
+        h1.receive = spy
+        sim.run(until=0.3)
+        return sum(got), len(acks)
+
+    bytes_plain, acks_plain = run(None)
+    bytes_delack, acks_delack = run(0.040)
+    assert bytes_delack > 0.9 * bytes_plain  # throughput preserved
+    assert acks_delack < 0.6 * acks_plain  # ~every-other-segment acking
+
+
+def test_delayed_ack_timer_bounds_latency():
+    """A lone segment is acked by the delack timer, not stranded."""
+    sim = Simulator()
+    h1, h2, _ = make_pair(sim)
+    h2.tcp.listen(80, lambda c: setattr(c, "on_receive", lambda n, t: None),
+                  delayed_ack_s=0.040)
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_established = lambda: conn.send(100)  # a single small segment
+    sim.run(until=0.030)
+    assert conn.bytes_acked == 0  # ack still held back
+    sim.run(until=0.2)
+    assert conn.bytes_acked == 100  # delack timer fired
+    assert conn.segments_retransmitted == 0  # RTO (200 ms) never raced it

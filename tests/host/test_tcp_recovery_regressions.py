@@ -1,0 +1,140 @@
+"""Regression tests for specific TCP recovery behaviours found during
+development of the migration/failover experiments."""
+
+import pytest
+
+from repro.host import Host, TcpState
+from repro.net import Link, ip, mac
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.net.ipv4 import IPv4Packet
+from repro.net.packet import coerce
+from repro.net.tcp_wire import TcpSegment
+from repro.sim import Simulator
+
+
+def make_pair(sim):
+    h1 = Host(sim, "h1", mac("00:00:00:00:00:01"), ip("10.0.0.1"))
+    h2 = Host(sim, "h2", mac("00:00:00:00:00:02"), ip("10.0.0.2"))
+    link = Link(sim, h1.nic, h2.nic, carrier_detect=False)
+    return h1, h2, link
+
+
+def test_go_back_n_after_rto_recovers_quickly():
+    """Regression: after an RTO, the whole lost window must be
+    retransmitted (cwnd-paced), not one segment per RTO."""
+    sim = Simulator(seed=1)
+    h1, h2, link = make_pair(sim)
+    got = []
+
+    def on_accept(server):
+        server.on_receive = lambda n, t: got.append((sim.now, n))
+
+    h2.tcp.listen(80, on_accept)
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_established = lambda: conn.send(5_000_000)
+    sim.run(until=0.02)
+    link.fail()  # strands ~64 KB in flight
+    sim.run(until=0.1)
+    link.recover()
+    sim.run(until=1.0)
+    assert sum(n for _t, n in got) == 5_000_000
+    # The entire transfer (incl. the stranded window) finished within
+    # ~RTO + transfer time, nowhere near 64KB/1460 * 200 ms ≈ 9 s.
+    assert got[-1][0] < 0.6
+
+
+def test_no_runt_segments_after_recovery():
+    """Regression (silly-window syndrome): after loss recovery, the
+    sender must keep emitting MSS-sized segments, never a self-
+    sustaining stream of runts."""
+    sim = Simulator(seed=2)
+    h1, h2, link = make_pair(sim)
+    h2.tcp.listen(80, lambda c: setattr(c, "on_receive", lambda n, t: None))
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_established = lambda: conn.send(200_000_000)
+    sim.run(until=0.02)
+    link.fail()
+    sim.run(until=0.08)
+    link.recover()
+    sim.run(until=0.5)  # well past recovery, flow still running
+
+    # Sample segment sizes on the wire after recovery.
+    sizes = []
+    original = h2.receive
+
+    def spy(frame, in_port):
+        if frame.ethertype == ETHERTYPE_IPV4:
+            packet = coerce(frame.payload, IPv4Packet)
+            segment = coerce(packet.payload, TcpSegment)
+            if segment.payload_length:
+                sizes.append(segment.payload_length)
+        original(frame, in_port)
+
+    h2.receive = spy
+    sim.run(until=0.55)
+    assert sizes, "flow must still be running"
+    runts = [s for s in sizes if s < conn.mss]
+    assert len(runts) <= 1  # at most a single odd-sized boundary segment
+
+
+def test_final_partial_segment_still_sent():
+    """SWS avoidance must not strand a final sub-MSS tail."""
+    sim = Simulator(seed=3)
+    h1, h2, _ = make_pair(sim)
+    got = []
+
+    def on_accept(server):
+        server.on_receive = lambda n, t: got.append(n)
+
+    h2.tcp.listen(80, on_accept)
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_established = lambda: conn.send(1461)  # one MSS + 1 byte
+    sim.run(until=1.0)
+    assert sum(got) == 1461
+
+
+def test_on_finished_fires_exactly_once():
+    sim = Simulator(seed=4)
+    h1, h2, _ = make_pair(sim)
+    finished = []
+    h2.tcp.listen(80, lambda c: setattr(c, "on_receive", lambda n, t: None))
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_finished = lambda: finished.append(sim.now)
+    conn.on_established = lambda: (conn.send(10_000), conn.close())
+    sim.run(until=5.0)
+    assert len(finished) == 1
+    assert conn.bytes_acked >= 10_000
+
+
+def test_zero_byte_send_then_close():
+    sim = Simulator(seed=5)
+    h1, h2, _ = make_pair(sim)
+    h2.tcp.listen(80)
+    conn = h1.tcp.connect(h2.ip, 80)
+    finished = []
+    conn.on_finished = lambda: finished.append(True)
+    conn.on_established = lambda: (conn.send(0), conn.close())
+    sim.run(until=5.0)
+    assert finished == [True]
+    assert conn.state in (TcpState.TIME_WAIT, TcpState.CLOSED,
+                          TcpState.FIN_WAIT_2)
+
+
+def test_connection_gives_up_after_max_retries():
+    """A permanently dead peer ends in a local abort, not an infinite
+    retransmission loop."""
+    sim = Simulator(seed=6)
+    h1, h2, link = make_pair(sim)
+    h2.tcp.listen(80, lambda c: setattr(c, "on_receive", lambda n, t: None))
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_established = lambda: conn.send(500_000_000)  # far from done
+    sim.run(until=0.05)
+    assert conn.state is TcpState.ESTABLISHED
+    assert conn.flight_size > 0
+    link.fail()
+    closed = []
+    conn.on_closed = closed.append
+    sim.run(until=3600.0)  # RTO backoff caps at 60 s; 15 retries ≈ <15 min
+    assert conn.state is TcpState.CLOSED
+    assert closed == ["too many retransmissions"]
+    assert conn.key not in h1.tcp.connections

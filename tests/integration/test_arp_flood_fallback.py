@@ -1,0 +1,96 @@
+"""The ARP-flood fallback path, end to end.
+
+When the fabric manager has no mapping for an IP (e.g. a host that has
+never transmitted), it answers the edge with found=False and floods the
+request out every edge switch's host ports. The owner replies; its edge
+switch rewrites the reply's AMAC to the PMAC and routes it back to the
+requester — after which the mapping is registered and the slow path is
+never taken again.
+"""
+
+from repro.host.apps import UdpEchoServer, UdpPinger
+from repro.sim import Simulator
+from repro.topology import build_portland_fabric
+
+
+def quiet_fabric(seed=111):
+    """Converged fabric where hosts have NOT announced themselves."""
+    sim = Simulator(seed=seed)
+    fabric = build_portland_fabric(sim, k=4)
+    fabric.start()
+    fabric.run_until_located()
+    # deliberately no announce_hosts(): the FM registry is empty.
+    return fabric
+
+
+def test_resolution_of_unknown_host_via_flood():
+    fabric = quiet_fabric()
+    sim = fabric.sim
+    fm = fabric.fabric_manager
+    hosts = fabric.host_list()
+    src, dst = hosts[0], hosts[13]
+    assert dst.ip not in fm.hosts_by_ip
+
+    UdpEchoServer(dst, 7)
+    pinger = UdpPinger(src, dst.ip)
+    pinger.ping()
+    sim.run(until=sim.now + 2.0)
+
+    assert pinger.answered == 1
+    assert fm.arp_misses >= 1
+    # The flood taught the FM both endpoints.
+    assert dst.ip in fm.hosts_by_ip
+    assert src.ip in fm.hosts_by_ip
+    # The requester's cache holds the target's PMAC, not its AMAC.
+    cached = src.arp_cache.lookup(dst.ip, sim.now)
+    assert cached is not None and cached != dst.mac
+    assert cached == fm.hosts_by_ip[dst.ip].pmac
+
+
+def test_second_resolution_uses_fast_path():
+    fabric = quiet_fabric(seed=112)
+    sim = fabric.sim
+    fm = fabric.fabric_manager
+    hosts = fabric.host_list()
+    src, other, dst = hosts[0], hosts[5], hosts[13]
+
+    UdpEchoServer(dst, 7)
+    first = UdpPinger(src, dst.ip)
+    first.ping()
+    sim.run(until=sim.now + 2.0)
+    assert first.answered == 1
+    misses_after_first = fm.arp_misses
+
+    # A different requester now resolves the same IP without a flood.
+    second = UdpPinger(other, dst.ip)
+    second.ping()
+    sim.run(until=sim.now + 1.0)
+    assert second.answered == 1
+    assert fm.arp_misses == misses_after_first
+
+
+def test_flood_skips_requesters_own_port():
+    """The requester never sees its own flooded request echoed back."""
+    fabric = quiet_fabric(seed=113)
+    sim = fabric.sim
+    hosts = fabric.host_list()
+    src, dst = hosts[0], hosts[13]
+
+    echoes = []
+    original = src.receive
+
+    def spy(frame, in_port):
+        from repro.net.arp import ARP_REQUEST, ArpPacket
+        from repro.net.ethernet import ETHERTYPE_ARP
+        from repro.net.packet import coerce
+        if frame.ethertype == ETHERTYPE_ARP:
+            arp = coerce(frame.payload, ArpPacket)
+            if arp.op == ARP_REQUEST and arp.sender_ip == src.ip:
+                echoes.append(arp)
+        original(frame, in_port)
+
+    src.receive = spy
+    UdpEchoServer(dst, 7)
+    UdpPinger(src, dst.ip).ping()
+    sim.run(until=sim.now + 2.0)
+    assert echoes == []

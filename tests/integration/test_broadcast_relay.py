@@ -1,0 +1,88 @@
+"""Fabric-manager-mediated broadcast (the paper's answer to non-ARP
+broadcast like DHCP: tunnel it, never flood the fabric)."""
+
+from repro.net import AppData, ip as mkip
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.sim import Simulator
+from repro.topology import build_portland_fabric
+
+BROADCAST = mkip("255.255.255.255")
+
+
+def build(seed=81):
+    sim = Simulator(seed=seed)
+    fabric = build_portland_fabric(sim, k=4)
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    return fabric
+
+
+def test_limited_broadcast_reaches_every_other_host():
+    fabric = build()
+    sim = fabric.sim
+    hosts = fabric.host_list()
+    inboxes = {h.name: h.udp_socket(6800) for h in hosts}
+    hosts[0].udp_socket(6801).sendto(BROADCAST, 6800, AppData(32))
+    sim.run(until=sim.now + 0.3)
+    for host in hosts[1:]:
+        assert len(inboxes[host.name].inbox) == 1, host.name
+    # The sender does not hear its own broadcast back.
+    assert inboxes[hosts[0].name].inbox == []
+
+
+def test_broadcast_never_floods_the_fabric_core():
+    """The data-plane copies are host-port emissions only: aggregation
+    and core switches never carry the broadcast frame."""
+    fabric = build(seed=82)
+    sim = fabric.sim
+    seen_at_core = []
+    for name, switch in fabric.switches.items():
+        if not name.startswith("edge"):
+            def tap(frame, in_port, _n=name):
+                if frame.ethertype == ETHERTYPE_IPV4 and frame.dst.is_broadcast:
+                    seen_at_core.append(_n)
+            switch.rx_tap = tap
+    hosts = fabric.host_list()
+    for h in hosts:
+        h.udp_socket(6800)
+    hosts[3].udp_socket(6801).sendto(BROADCAST, 6800, AppData(16))
+    sim.run(until=sim.now + 0.3)
+    assert seen_at_core == []
+    # And the fabric manager relayed it to the 7 other edges.
+    fm = fabric.fabric_manager
+    assert fm.messages_sent > 0
+
+
+def test_local_hosts_get_broadcast_even_before_relay():
+    """Hosts on the sender's own edge switch get the frame directly."""
+    fabric = build(seed=83)
+    sim = fabric.sim
+    hosts = fabric.host_list()
+    local_peer = hosts[1]  # same edge as hosts[0]
+    inbox = local_peer.udp_socket(6800)
+    hosts[0].udp_socket(6801).sendto(BROADCAST, 6800, AppData(8))
+    sim.run(until=sim.now + 0.05)
+    assert len(inbox.inbox) == 1
+
+
+def test_broadcast_reply_unicast_works():
+    """A broadcast query / unicast response cycle (the DHCP shape)."""
+    fabric = build(seed=84)
+    sim = fabric.sim
+    hosts = fabric.host_list()
+    server = hosts[13]
+    server_sock = server.udp_socket(6800)
+
+    replies = []
+
+    def on_query(src_ip, src_port, payload, now):
+        server_sock.sendto(src_ip, src_port, AppData(4))
+
+    server_sock.on_datagram = on_query
+    client_sock = hosts[0].udp_socket(6801)
+    client_sock.on_datagram = lambda *a: replies.append(a)
+    client_sock.sendto(BROADCAST, 6800, AppData(32))
+    sim.run(until=sim.now + 0.5)
+    assert len(replies) == 1

@@ -1,0 +1,174 @@
+"""Fault-tolerance integration tests: the Fig. 10/11 mechanisms."""
+
+import pytest
+
+from repro.host.apps import TcpBulkSender, TcpSink, UdpStreamReceiver, UdpStreamSender
+from repro.metrics.convergence import convergence_time, measure_outages
+from repro.sim import Simulator
+from repro.topology import LinkParams, build_portland_fabric
+from repro.workloads.failures import FailureInjector, pick_failures
+
+
+def converged(sim, carrier=False, k=4):
+    fabric = build_portland_fabric(
+        sim, k=k, link_params=LinkParams(carrier_detect=carrier))
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    return fabric
+
+
+def active_uplink_path(fabric, edge_name):
+    """(agg_name, core_name) currently carrying the probe flow."""
+    edge = fabric.switches[edge_name]
+    half = fabric.tree.k // 2
+    up = {i: edge.ports[i].counters.tx_frames
+          for i in range(half, fabric.tree.k)}
+    uplink = max(up, key=up.get)
+    pod = int(edge_name.split("-")[1][1:])
+    agg_name = f"agg-p{pod}-s{uplink - half}"
+    agg = fabric.switches[agg_name]
+    core_tx = {i: agg.ports[i].counters.tx_frames
+               for i in range(half, fabric.tree.k)}
+    core_port = max(core_tx, key=core_tx.get)
+    agg_idx = uplink - half
+    core_name = f"core-{agg_idx * half + (core_port - half)}"
+    return agg_name, core_name
+
+
+def test_udp_converges_after_silent_core_link_failure():
+    sim = Simulator(seed=5)
+    fabric = converged(sim, carrier=False)
+    hosts = fabric.host_list()
+    rx = UdpStreamReceiver(hosts[12], 5001)
+    tx = UdpStreamSender(hosts[0], hosts[12].ip, 5001, rate_pps=1000)
+    tx.start()
+    sim.run(until=1.0)
+    agg_name, core_name = active_uplink_path(fabric, "edge-p0-s0")
+    fabric.link_between(agg_name, core_name).fail()
+    sim.run(until=2.0)
+    outages = measure_outages([rx], 0.9, 2.0, nominal_interval_s=0.001)
+    assert outages[0].affected
+    conv = convergence_time(outages, 0.001)
+    # LDP detection (50 ms) + report + reinstallation: well under 200 ms.
+    assert 0.02 < conv < 0.2
+    # And traffic is flowing again at the end.
+    late = [t for t in rx.arrival_times() if t > 1.8]
+    assert len(late) > 150
+
+
+def test_udp_converges_after_edge_uplink_failure():
+    sim = Simulator(seed=6)
+    fabric = converged(sim, carrier=False)
+    hosts = fabric.host_list()
+    rx = UdpStreamReceiver(hosts[12], 5001)
+    tx = UdpStreamSender(hosts[0], hosts[12].ip, 5001, rate_pps=1000)
+    tx.start()
+    sim.run(until=1.0)
+    agg_name, _core = active_uplink_path(fabric, "edge-p0-s0")
+    fabric.link_between("edge-p0-s0", agg_name).fail()
+    sim.run(until=2.0)
+    outages = measure_outages([rx], 0.9, 2.0, nominal_interval_s=0.001)
+    assert outages[0].affected
+    assert 0.02 < convergence_time(outages, 0.001) < 0.25
+    late = [t for t in rx.arrival_times() if t > 1.8]
+    assert len(late) > 150
+
+
+def test_remote_edge_gets_fault_update_for_dest_uplink_failure():
+    """Failing the *destination* edge's uplink requires the FM to inform
+    remote switches (the failure is invisible locally to the sender)."""
+    sim = Simulator(seed=7)
+    fabric = converged(sim, carrier=False)
+    hosts = fabric.host_list()
+    rx = UdpStreamReceiver(hosts[12], 5001)  # pod 3, edge-p3-s0
+    tx = UdpStreamSender(hosts[0], hosts[12].ip, 5001, rate_pps=1000)
+    tx.start()
+    sim.run(until=1.0)
+    dst_edge = "edge-p3-s0"
+    # Find the aggregation switch through which traffic *descends*.
+    edge = fabric.switches[dst_edge]
+    half = fabric.tree.k // 2
+    rx_per_up = {i: edge.ports[i].counters.rx_frames
+                 for i in range(half, fabric.tree.k)}
+    active_up = max(rx_per_up, key=rx_per_up.get)
+    agg_name = f"agg-p3-s{active_up - half}"
+    fabric.link_between(dst_edge, agg_name).fail()
+    sim.run(until=2.5)
+    outages = measure_outages([rx], 0.9, 2.5, nominal_interval_s=0.001)
+    assert outages[0].affected
+    assert convergence_time(outages, 0.001) < 0.4
+    # The source edge switch received a prescriptive fault override.
+    src_agent = fabric.agents["edge-p0-s0"]
+    assert len(src_agent._fault_overrides) == 1
+    late = [t for t in rx.arrival_times() if t > 2.3]
+    assert len(late) > 150
+
+
+def test_recovery_restores_ecmp_and_clears_overrides():
+    sim = Simulator(seed=8)
+    fabric = converged(sim, carrier=False)
+    hosts = fabric.host_list()
+    rx = UdpStreamReceiver(hosts[12], 5001)
+    tx = UdpStreamSender(hosts[0], hosts[12].ip, 5001, rate_pps=500)
+    tx.start()
+    sim.run(until=0.5)
+    agg_name, _ = active_uplink_path(fabric, "edge-p0-s0")
+    link = fabric.link_between("edge-p0-s0", agg_name)
+    link.fail()
+    sim.run(until=1.5)
+    link.recover()
+    sim.run(until=2.5)
+    assert len(fabric.fabric_manager.fault_matrix) == 0
+    for agent in fabric.agents.values():
+        assert agent._fault_overrides == {}
+    edge_agent = fabric.agents["edge-p0-s0"]
+    assert len(edge_agent.ldp.up_ports()) == 2
+
+
+@pytest.mark.slow
+def test_multiple_simultaneous_failures_converge():
+    sim = Simulator(seed=9)
+    fabric = converged(sim, carrier=False)
+    hosts = fabric.host_list()
+    receivers = []
+    for i, (src_i, dst_i) in enumerate([(0, 12), (2, 14), (5, 9), (7, 11)]):
+        rx = UdpStreamReceiver(hosts[dst_i], 6000 + i)
+        tx = UdpStreamSender(hosts[src_i], hosts[dst_i].ip, 6000 + i,
+                             rate_pps=1000)
+        tx.start()
+        receivers.append(rx)
+    sim.run(until=1.0)
+    rng = sim.random.stream("failtest")
+    links = pick_failures(fabric.tree, 4, rng, keep_connected=True)
+    injector = FailureInjector(sim, fabric.link_between)
+    injector.fail_at(1.0, links)
+    sim.run(until=3.0)
+    outages = measure_outages(receivers, 0.9, 3.0, nominal_interval_s=0.001)
+    conv = convergence_time(outages, 0.001)
+    if conv is not None:  # at least one flow crossed a failed link
+        assert conv < 0.5
+    # Every flow is alive again at the end.
+    for rx in receivers:
+        late = [t for t in rx.arrival_times() if t > 2.8]
+        assert len(late) > 100
+
+
+def test_tcp_flow_survives_failure_with_one_rto_outage():
+    sim = Simulator(seed=10)
+    fabric = converged(sim, carrier=False)
+    hosts = fabric.host_list()
+    sink = TcpSink(hosts[12], 9000, rate_bin_s=0.02)
+    bulk = TcpBulkSender(hosts[0], hosts[12].ip, 9000)
+    sim.run(until=0.5)
+    agg_name, core_name = active_uplink_path(fabric, "edge-p0-s0")
+    fabric.link_between(agg_name, core_name).fail()
+    sim.run(until=1.5)
+    assert bulk.conn.state.value == "ESTABLISHED"
+    series = sink.goodput_series(0.4, 1.5)
+    outage_bins = [t for t, v in series if v == 0 and 0.5 <= t <= 1.0]
+    # Outage exists but is short: bounded by ~RTO (200 ms) + convergence.
+    assert 0 < len(outage_bins) <= 25
+    tail = [v for t, v in series if t > 1.3]
+    assert sum(tail) / len(tail) > 0.5e9 / 8  # back above 500 Mb/s

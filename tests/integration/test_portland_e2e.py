@@ -1,0 +1,142 @@
+"""End-to-end PortLand behaviour: proxy ARP, PMAC rewriting, ECMP,
+forwarding-state size, and the fabric manager registry."""
+
+from repro.host.apps import TcpBulkSender, TcpSink, UdpEchoServer, UdpPinger
+from repro.net import AppData
+from repro.net.ethernet import ETHERTYPE_ARP
+from repro.portland.messages import SwitchLevel
+from repro.portland.pmac import Pmac
+from repro.sim import Simulator
+from repro.topology import build_portland_fabric
+
+
+def test_any_to_any_connectivity(fabric):
+    sim = fabric.sim
+    hosts = fabric.host_list()
+    server = UdpEchoServer(hosts[-1], 7)
+    pingers = [UdpPinger(h, hosts[-1].ip) for h in hosts[:-1]]
+    for pinger in pingers:
+        pinger.ping()
+    sim.run(until=sim.now + 1.0)
+    assert all(p.answered == 1 for p in pingers)
+
+
+def test_proxy_arp_no_fabric_broadcast(fabric):
+    """Host ARPs never flood the fabric: the edge intercepts them and the
+    core/aggregation layers see no ARP frames at all."""
+    sim = fabric.sim
+    arp_seen_at_core = []
+
+    for name, switch in fabric.switches.items():
+        if name.startswith(("core", "agg")):
+            def tap(frame, in_port, _name=name):
+                if frame.ethertype == ETHERTYPE_ARP and frame.dst.is_broadcast:
+                    arp_seen_at_core.append(_name)
+            switch.rx_tap = tap
+
+    hosts = fabric.host_list()
+    server = UdpEchoServer(hosts[8], 7)
+    pinger = UdpPinger(hosts[0], hosts[8].ip)
+    pinger.ping()
+    sim.run(until=sim.now + 0.5)
+    assert pinger.answered == 1
+    assert arp_seen_at_core == []
+    assert fabric.fabric_manager.arp_queries >= 1
+
+
+def test_hosts_see_pmacs_not_amacs(fabric):
+    """The ARP answer a host receives is a PMAC (location-encoded), and
+    traffic delivered to a host carries the sender's PMAC as source."""
+    sim = fabric.sim
+    hosts = fabric.host_list()
+    src, dst = hosts[0], hosts[10]
+    inbox = dst.udp_socket(5000)
+    src.udp_socket().sendto(dst.ip, 5000, AppData(10))
+    sim.run(until=sim.now + 0.5)
+    learned = src.arp_cache.lookup(dst.ip, sim.now)
+    assert learned is not None
+    assert learned != dst.mac  # it is a PMAC, not the real AMAC
+    pmac = Pmac.from_mac(learned)
+    # The PMAC's port field matches where the host actually lives.
+    spec = fabric.tree.hosts[10]
+    assert pmac.port == spec.edge_port
+    edge_agent = fabric.edge_agent_of(spec.name)
+    assert pmac.pod == edge_agent.ldp.pod
+    assert pmac.position == edge_agent.ldp.position
+
+
+def test_fm_registry_contents(fabric):
+    fm = fabric.fabric_manager
+    assert len(fm.hosts_by_ip) == len(fabric.tree.hosts)
+    for spec in fabric.tree.hosts:
+        record = fm.hosts_by_ip[spec.ip]
+        assert record.amac == spec.mac
+        edge_agent = fabric.agents[spec.edge_switch]
+        assert record.edge_id == edge_agent.switch_id
+        assert record.port == spec.edge_port
+
+
+def test_forwarding_state_is_order_k(fabric):
+    """PortLand's headline scalability claim: per-switch forwarding state
+    is O(k), independent of host count."""
+    k = fabric.tree.k
+    for name, switch in fabric.switches.items():
+        entries = len(switch.table) + len(switch.rewrite_table)
+        level = fabric.agents[name].level
+        if level is SwitchLevel.EDGE:
+            # per-host entries bounded by hosts-per-edge (k/2), plus
+            # intercepts + default routes.
+            assert entries <= 3 * (k // 2) + 8
+        else:
+            assert entries <= k + 4
+
+
+def test_ecmp_spreads_flows_across_uplinks(fabric):
+    sim = fabric.sim
+    hosts = fabric.host_list()
+    # Many UDP flows from the two hosts on edge-p0-s0 to pod 3 hosts.
+    src_a, src_b = hosts[0], hosts[1]
+    destinations = hosts[12:16]
+    for dst in destinations:
+        inbox = dst.udp_socket(6000)
+    for i in range(32):
+        src = (src_a, src_b)[i % 2]
+        dst = destinations[i % len(destinations)]
+        src.udp_socket().sendto(dst.ip, 6000, AppData(64))
+    sim.run(until=sim.now + 1.0)
+    edge = fabric.switches["edge-p0-s0"]
+    up_tx = [edge.ports[i].counters.tx_frames for i in (2, 3)]
+    assert min(up_tx) > 0  # both uplinks carried traffic
+
+
+def test_tcp_cross_pod_goodput(fabric):
+    sim = fabric.sim
+    hosts = fabric.host_list()
+    sink = TcpSink(hosts[15], 9000, rate_bin_s=0.05)
+    TcpBulkSender(hosts[0], hosts[15].ip, 9000)
+    sim.run(until=sim.now + 0.5)
+    goodput = sink.total_bytes * 8 / 0.5
+    assert goodput > 0.8e9
+
+
+def test_vmid_distinguishes_hosts_on_same_port_prefix(fabric):
+    """Two hosts on the same edge switch get PMACs differing in port."""
+    agents = [a for a in fabric.agents.values()
+              if a.level is SwitchLevel.EDGE]
+    for agent in agents:
+        pmacs = [record.pmac for record in agent.hosts_by_amac.values()]
+        assert len({(p.port, p.vmid) for p in pmacs}) == len(pmacs)
+
+
+def test_unknown_ip_triggers_arp_flood_fallback(fabric):
+    """ARPing for an IP the FM does not know falls back to an
+    edge-mediated flood (and fails gracefully when nobody owns it)."""
+    sim = fabric.sim
+    fm = fabric.fabric_manager
+    hosts = fabric.host_list()
+    misses_before = fm.arp_misses
+    from repro.net import ip as mkip
+
+    hosts[0].udp_socket().sendto(mkip("10.99.99.99"), 1234, AppData(8))
+    sim.run(until=sim.now + 0.5)
+    assert fm.arp_misses == misses_before + 1

@@ -1,0 +1,112 @@
+"""Heavyweight robustness tests (marked slow).
+
+* k=16: 320 switches / 1024 hosts — the paper's target scale class —
+  brought up with zero configuration.
+* Chaos churn: seconds of random fail/recover storms under live probes;
+  the fabric must never loop a frame and must return to a clean state.
+"""
+
+import pytest
+
+from repro.host.apps import UdpEchoServer, UdpPinger
+from repro.portland.messages import SwitchLevel
+from repro.sim import Simulator
+from repro.topology import LinkParams, build_portland_fabric
+from repro.workloads.failures import pick_failures
+from repro.workloads.traffic import UdpFlowSet, inter_pod_pairs
+
+
+@pytest.mark.slow
+def test_k16_fabric_bringup_and_traffic():
+    sim = Simulator(seed=131)
+    fabric = build_portland_fabric(sim, k=16)
+    assert len(fabric.switches) == 320
+    assert len(fabric.hosts) == 1024
+    fabric.start()
+    located = fabric.run_until_located(timeout_s=10.0)
+    assert located < 0.5  # discovery time does not grow with scale
+    fabric.announce_hosts()
+    fabric.run_until_registered(timeout_s=10.0)
+    assert len(fabric.fabric_manager.hosts_by_ip) == 1024
+
+    # Positions unique in every one of the 16 pods.
+    by_pod = {}
+    for agent in fabric.agents.values():
+        if agent.level is SwitchLevel.EDGE:
+            by_pod.setdefault(agent.ldp.pod, []).append(agent.ldp.position)
+    assert len(by_pod) == 16
+    for positions in by_pod.values():
+        assert sorted(positions) == list(range(8))
+
+    # State stays O(k) at 1024 hosts.
+    max_state = max(len(s.table) + len(s.rewrite_table)
+                    for s in fabric.switches.values())
+    assert max_state <= 40
+
+    hosts = fabric.host_list()
+    UdpEchoServer(hosts[-1], 7)
+    pinger = UdpPinger(hosts[0], hosts[-1].ip)
+    pinger.ping()
+    sim.run(until=sim.now + 0.2)
+    assert pinger.answered == 1
+
+
+@pytest.mark.slow
+def test_chaos_churn_converges_clean():
+    sim = Simulator(seed=132)
+    fabric = build_portland_fabric(
+        sim, k=4, link_params=LinkParams(carrier_detect=False))
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+
+    # Loop detector: no switch may ever see the same payload twice.
+    seen = {name: {} for name in fabric.switches}
+    violations = []
+    from repro.net.ethernet import ETHERTYPE_IPV4
+
+    def make_tap(name):
+        def tap(frame, in_port):
+            if frame.ethertype != ETHERTYPE_IPV4 or frame.payload is None:
+                return
+            key = id(frame.payload)
+            if key in seen[name]:
+                violations.append((name, key))
+            seen[name][key] = frame.payload
+        return tap
+
+    for name, switch in fabric.switches.items():
+        switch.rx_tap = make_tap(name)
+
+    hosts = fabric.host_list()
+    by_pod = {}
+    for spec, host in zip(fabric.tree.hosts, hosts):
+        by_pod.setdefault(spec.pod, []).append(host)
+    rng = sim.random.stream("chaos")
+    flows = UdpFlowSet(inter_pod_pairs(by_pod, rng, flows=6), rate_pps=400)
+    flows.start(stagger=0.0005)
+    sim.run(until=0.5)
+
+    # Five rounds of random fail + staggered recover.
+    from repro.workloads.failures import FailureInjector
+
+    injector = FailureInjector(sim, fabric.link_between)
+    t = 0.5
+    for round_index in range(5):
+        links = pick_failures(fabric.tree, 1 + round_index % 3, rng)
+        injector.fail_at(t, links)
+        injector.recover_at(t + 0.35)
+        t += 0.7
+    sim.run(until=t + 1.5)
+
+    assert violations == []
+    fm = fabric.fabric_manager
+    assert len(fm.fault_matrix) == 0  # everything recovered
+    for agent in fabric.agents.values():
+        assert agent._fault_overrides == {}
+        assert agent.fm_blocked_neighbors == set()
+    # Every probe flow is alive at the end.
+    for rx in flows.receivers():
+        late = [x for x in rx.arrival_times() if x > t + 1.2]
+        assert len(late) > 50

@@ -1,0 +1,149 @@
+"""Unidirectional failures (FM-mediated blocking) and lossy links."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.host.apps import TcpBulkSender, TcpSink, UdpStreamReceiver, UdpStreamSender
+from repro.net import Link, ip, mac
+from repro.host import Host
+from repro.sim import Simulator
+from repro.topology import LinkParams, build_portland_fabric
+
+
+def converged(sim):
+    fabric = build_portland_fabric(
+        sim, k=4, link_params=LinkParams(carrier_detect=False))
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    return fabric
+
+
+def test_unidirectional_link_failure_recovers():
+    """Killing only one direction of a link: the deaf side times out and
+    reports; the FM blocks the *other* side (whose keepalives still
+    arrive) via DisableLink; traffic reroutes."""
+    sim = Simulator(seed=61)
+    fabric = converged(sim)
+    hosts = fabric.host_list()
+    rx = UdpStreamReceiver(hosts[12], 5001)
+    tx = UdpStreamSender(hosts[0], hosts[12].ip, 5001, rate_pps=1000)
+    tx.start()
+    sim.run(until=1.0)
+
+    # Find the edge uplink in use and kill only edge->agg (the deaf side
+    # is the aggregation switch; the edge still hears the agg's LDMs).
+    edge = fabric.switches["edge-p0-s0"]
+    uplink = max((2, 3), key=lambda i: edge.ports[i].counters.tx_frames)
+    agg_name = f"agg-p0-s{uplink - 2}"
+    link = fabric.link_between("edge-p0-s0", agg_name)
+    link.fail_direction(edge.ports[uplink])
+    sim.run(until=2.5)
+
+    gap, _s, _e = rx.max_gap(0.9, 2.5)
+    assert 0.02 < gap < 0.4, f"unidirectional failure not healed: {gap}"
+    late = [t for t in rx.arrival_times() if t > 2.3]
+    assert len(late) > 150
+    # The edge (whose receive direction still worked) was blocked by the
+    # fabric manager, not by its own keepalive timeout.
+    edge_agent = fabric.agents["edge-p0-s0"]
+    agg_id = fabric.agents[agg_name].switch_id
+    assert agg_id in edge_agent.fm_blocked_neighbors
+
+    # Physical repair: the agg re-hears LDMs, reports recovery, the FM
+    # unblocks the edge.
+    link.recover()
+    sim.run(until=3.5)
+    assert agg_id not in edge_agent.fm_blocked_neighbors
+    assert len(fabric.fabric_manager.fault_matrix) == 0
+
+
+def test_bidirectional_failure_disable_enable_cycle():
+    sim = Simulator(seed=62)
+    fabric = converged(sim)
+    link = fabric.link_between("agg-p0-s0", "core-0")
+    link.fail()
+    sim.run(until=sim.now + 0.3)
+    agg_agent = fabric.agents["agg-p0-s0"]
+    core_agent = fabric.agents["core-0"]
+    assert core_agent.switch_id in agg_agent.fm_blocked_neighbors
+    assert agg_agent.switch_id in core_agent.fm_blocked_neighbors
+    link.recover()
+    sim.run(until=sim.now + 0.5)
+    assert agg_agent.fm_blocked_neighbors == set()
+    assert core_agent.fm_blocked_neighbors == set()
+
+
+def test_fail_direction_validates_endpoint():
+    sim = Simulator()
+    h1 = Host(sim, "h1", mac("00:00:00:00:00:01"), ip("10.0.0.1"))
+    h2 = Host(sim, "h2", mac("00:00:00:00:00:02"), ip("10.0.0.2"))
+    h3 = Host(sim, "h3", mac("00:00:00:00:00:03"), ip("10.0.0.3"))
+    link = Link(sim, h1.nic, h2.nic)
+    with pytest.raises(LinkError):
+        link.fail_direction(h3.nic)
+
+
+def test_fail_direction_is_one_way():
+    sim = Simulator()
+    h1 = Host(sim, "h1", mac("00:00:00:00:00:01"), ip("10.0.0.1"))
+    h2 = Host(sim, "h2", mac("00:00:00:00:00:02"), ip("10.0.0.2"))
+    link = Link(sim, h1.nic, h2.nic, carrier_detect=False)
+    # Warm ARP both ways first.
+    box2 = h2.udp_socket(5000)
+    box1 = h1.udp_socket(5000)
+    h1.udp_socket().sendto(h2.ip, 5000, b"x")
+    sim.run(until=sim.now + 0.1)
+    assert len(box2.inbox) == 1
+
+    link.fail_direction(h1.nic)
+    h1.udp_socket().sendto(h2.ip, 5000, b"y")  # dies
+    h2.udp_socket().sendto(h1.ip, 5000, b"z")  # survives
+    sim.run(until=sim.now + 0.1)
+    assert len(box2.inbox) == 1
+    assert len(box1.inbox) == 1
+    link.recover()
+    h1.udp_socket().sendto(h2.ip, 5000, b"again")
+    sim.run(until=sim.now + 0.1)
+    assert len(box2.inbox) == 2
+
+
+def test_lossy_link_tcp_still_completes():
+    """1% random loss: TCP grinds through with retransmissions."""
+    sim = Simulator(seed=63)
+    h1 = Host(sim, "h1", mac("00:00:00:00:00:01"), ip("10.0.0.1"))
+    h2 = Host(sim, "h2", mac("00:00:00:00:00:02"), ip("10.0.0.2"))
+    Link(sim, h1.nic, h2.nic, loss_rate=0.01, carrier_detect=False)
+    got = []
+
+    def on_accept(server):
+        server.on_receive = lambda n, t: got.append(n)
+
+    h2.tcp.listen(80, on_accept)
+    conn = h1.tcp.connect(h2.ip, 80)
+    conn.on_established = lambda: conn.send(2_000_000)
+    sim.run(until=20.0)
+    assert sum(got) == 2_000_000
+    assert conn.segments_retransmitted > 0
+
+
+def test_lossy_link_parameter_validation():
+    sim = Simulator()
+    h1 = Host(sim, "h1", mac("00:00:00:00:00:01"), ip("10.0.0.1"))
+    h2 = Host(sim, "h2", mac("00:00:00:00:00:02"), ip("10.0.0.2"))
+    with pytest.raises(LinkError):
+        Link(sim, h1.nic, h2.nic, loss_rate=1.5)
+
+
+def test_lossy_link_drops_expected_fraction():
+    sim = Simulator(seed=64)
+    h1 = Host(sim, "h1", mac("00:00:00:00:00:01"), ip("10.0.0.1"))
+    h2 = Host(sim, "h2", mac("00:00:00:00:00:02"), ip("10.0.0.2"))
+    Link(sim, h1.nic, h2.nic, loss_rate=0.2, carrier_detect=False)
+    rx = UdpStreamReceiver(h2, 5000)
+    tx = UdpStreamSender(h1, h2.ip, 5000, rate_pps=2000)
+    tx.start()
+    sim.run(until=2.0)
+    delivered = rx.received / tx.next_seq
+    assert 0.7 < delivered < 0.9  # ~80% delivery at 20% loss

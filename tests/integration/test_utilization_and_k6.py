@@ -1,0 +1,68 @@
+"""Link-utilization accounting plus a k=6 (3-position pods) end-to-end
+sanity check."""
+
+from repro.host.apps import UdpEchoServer, UdpPinger
+from repro.metrics.utilization import by_layer, imbalance, snapshot, usage_since
+from repro.portland.messages import SwitchLevel
+from repro.sim import Simulator
+from repro.topology import build_portland_fabric
+from repro.workloads.shuffle import ShuffleWorkload
+
+
+def test_utilization_accounting_tracks_shuffle():
+    sim = Simulator(seed=91)
+    fabric = build_portland_fabric(sim, k=4)
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+
+    baseline = snapshot(fabric.links)
+    hosts = fabric.host_list()[:6]
+    shuffle = ShuffleWorkload(sim, hosts, bytes_per_flow=30_000)
+    shuffle.start()
+    shuffle.run_until_done(timeout_s=30.0)
+
+    usages = usage_since(fabric.links, baseline)
+    assert usages[0].bytes_total >= usages[-1].bytes_total  # sorted
+    layers = by_layer(usages)
+    # All three layers carried shuffle traffic (hosts span pods).
+    assert layers.get("edge-host", 0) > 0
+    assert layers.get("agg-edge", 0) > 0
+    assert layers.get("agg-core", 0) > 0
+    # Host links carry each byte exactly once in and once out; upper
+    # layers carry only the inter-switch subset.
+    assert layers["edge-host"] >= layers["agg-core"]
+    # ECMP keeps core-layer imbalance bounded.
+    assert imbalance(usages, "agg-core") < 4.0
+    # Utilization values are sane fractions.
+    elapsed = max(r.fct for r in shuffle.results if r.fct)
+    for usage in usages[:5]:
+        u = usage.utilization(elapsed, 1e9)
+        assert 0.0 <= u <= 1.0
+
+
+def test_k6_fabric_end_to_end():
+    """k=6: pods with 3 edges/3 positions — exercises non-power-of-two
+    position agreement and 9-way core ECMP."""
+    sim = Simulator(seed=92)
+    fabric = build_portland_fabric(sim, k=6)
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+
+    by_pod: dict[int, list[int]] = {}
+    for agent in fabric.agents.values():
+        if agent.level is SwitchLevel.EDGE:
+            by_pod.setdefault(agent.ldp.pod, []).append(agent.ldp.position)
+    assert len(by_pod) == 6
+    for positions in by_pod.values():
+        assert sorted(positions) == [0, 1, 2]
+
+    hosts = fabric.host_list()
+    UdpEchoServer(hosts[-1], 7)
+    pinger = UdpPinger(hosts[0], hosts[-1].ip)
+    pinger.ping()
+    sim.run(until=sim.now + 0.5)
+    assert pinger.answered == 1

@@ -1,0 +1,37 @@
+"""Unit and property tests for the Internet checksum."""
+
+import struct
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.checksum import internet_checksum, verify_checksum
+
+
+def test_known_vector():
+    # Classic RFC 1071 worked example.
+    data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+    assert internet_checksum(data) == 0x220D
+
+
+def test_odd_length_pads_with_zero():
+    assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+
+def test_verify_detects_corruption():
+    header = bytearray(20)
+    header[0] = 0x45
+    checksum = internet_checksum(bytes(header))
+    struct.pack_into("!H", header, 10, checksum)
+    assert verify_checksum(bytes(header))
+    header[4] ^= 0xFF
+    assert not verify_checksum(bytes(header))
+
+
+@given(st.binary(min_size=0, max_size=256).map(
+    lambda d: d if len(d) % 2 == 0 else d + b"\x00"))
+def test_checksummed_data_always_verifies(data):
+    # 16-bit-aligned data with its checksum appended must verify.
+    checksum = internet_checksum(data + b"\x00\x00")
+    stamped = data + struct.pack("!H", checksum)
+    assert verify_checksum(stamped)

@@ -1,0 +1,194 @@
+"""Unit tests for links, ports, and failure semantics."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.net import AppData, EthernetFrame, Link, mac
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.net.node import Node
+from repro.sim import Simulator
+
+
+class Sink(Node):
+    """Records (time, frame) arrivals and port up/down events."""
+
+    def __init__(self, sim, name, ports=1):
+        super().__init__(sim, name, ports)
+        self.received = []
+        self.downs = 0
+        self.ups = 0
+
+    def receive(self, frame, in_port):
+        self.received.append((self.sim.now, frame))
+
+    def on_port_down(self, port):
+        self.downs += 1
+
+    def on_port_up(self, port):
+        self.ups += 1
+
+
+def frame(length=100):
+    return EthernetFrame(mac("ff:ff:ff:ff:ff:ff"), mac("00:00:00:00:00:01"),
+                         ETHERTYPE_IPV4, AppData(length))
+
+
+def wire(sim, a, b, **kwargs):
+    return Link(sim, a.port(0), b.port(0), **kwargs)
+
+
+def test_delivery_latency_is_serialization_plus_propagation():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    link = wire(sim, a, b, rate_bps=1e9, delay_s=10e-6, carrier_detect=False)
+    f = frame(100)
+    a.port(0).send(f)
+    sim.run()
+    expected = (f.wire_length() + 20) * 8 / 1e9 + 10e-6
+    assert b.received[0][0] == pytest.approx(expected)
+
+
+def test_full_duplex_directions_are_independent():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    wire(sim, a, b)
+    a.port(0).send(frame())
+    b.port(0).send(frame())
+    sim.run()
+    assert len(a.received) == 1
+    assert len(b.received) == 1
+
+
+def test_frames_queue_while_transmitting():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    wire(sim, a, b, rate_bps=1e6, delay_s=0.0)  # slow link
+    for _ in range(3):
+        assert a.port(0).send(frame(1000))
+    sim.run()
+    assert len(b.received) == 3
+    arrival_times = [t for t, _f in b.received]
+    gaps = [t2 - t1 for t1, t2 in zip(arrival_times, arrival_times[1:])]
+    serialization = (frame(1000).wire_length() + 20) * 8 / 1e6
+    for gap in gaps:
+        assert gap == pytest.approx(serialization)
+
+
+def test_queue_overflow_drops_tail():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    # Queue fits one queued frame (plus one transmitting).
+    wire(sim, a, b, rate_bps=1e6, queue_bytes=1100)
+    results = [a.port(0).send(frame(1000)) for _ in range(4)]
+    sim.run()
+    assert results[0] is True  # transmitting
+    assert results[1] is True  # queued
+    assert results[2] is False  # dropped
+    assert a.port(0).counters.drops == 2
+    assert len(b.received) == 2
+
+
+def test_fail_drops_in_flight_and_queued():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    link = wire(sim, a, b, rate_bps=1e6, delay_s=0.001, carrier_detect=False)
+    a.port(0).send(frame(1000))
+    a.port(0).send(frame(1000))
+    sim.schedule(0.0005, link.fail)  # mid-flight
+    sim.run()
+    assert b.received == []
+    assert not a.port(0).is_up
+
+
+def test_send_on_failed_link_counts_drop():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    link = wire(sim, a, b, carrier_detect=False)
+    link.fail()
+    assert a.port(0).send(frame()) is False
+    assert a.port(0).counters.drops == 1
+
+
+def test_carrier_notifications_on_fail_and_recover():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    link = wire(sim, a, b, carrier_detect=True)
+    sim.run()  # flush plug-in carrier-up
+    assert a.ups == 1 and b.ups == 1
+    link.fail()
+    link.fail()  # idempotent
+    sim.run()
+    assert a.downs == 1 and b.downs == 1
+    link.recover()
+    sim.run()
+    assert a.ups == 2 and b.ups == 2
+    assert a.port(0).is_up
+
+
+def test_no_carrier_notifications_when_disabled():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    link = wire(sim, a, b, carrier_detect=False)
+    link.fail()
+    link.recover()
+    sim.run()
+    assert a.downs == b.downs == 0
+    assert a.ups == b.ups == 0
+
+
+def test_recover_restores_delivery():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    link = wire(sim, a, b, carrier_detect=False)
+    link.fail()
+    link.recover()
+    a.port(0).send(frame())
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_detach_frees_ports_for_rewiring():
+    sim = Simulator()
+    a, b, c = Sink(sim, "a"), Sink(sim, "b"), Sink(sim, "c")
+    link = wire(sim, a, b)
+    link.detach()
+    assert a.port(0).link is None
+    # Re-wire a to c.
+    wire(sim, a, c)
+    a.port(0).send(frame())
+    sim.run()
+    assert len(c.received) == 1
+    assert b.received == []
+
+
+def test_double_wiring_rejected():
+    sim = Simulator()
+    a, b, c = Sink(sim, "a"), Sink(sim, "b"), Sink(sim, "c")
+    wire(sim, a, b)
+    with pytest.raises(LinkError):
+        wire(sim, a, c)
+    with pytest.raises(LinkError):
+        Link(sim, c.port(0), c.port(0))
+
+
+def test_disabled_port_drops_rx_and_tx():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    wire(sim, a, b)
+    b.port(0).enabled = False
+    a.port(0).send(frame())
+    sim.run()
+    assert b.received == []
+    assert b.port(0).counters.drops == 1
+    assert b.port(0).send(frame()) is False
+
+
+def test_counters_track_bytes():
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    wire(sim, a, b)
+    f = frame(200)
+    a.port(0).send(f)
+    sim.run()
+    assert a.port(0).counters.tx_bytes == f.wire_length()
+    assert b.port(0).counters.rx_bytes == f.wire_length()

@@ -1,0 +1,51 @@
+"""Unit tests for the Node base class."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.host import Host
+from repro.net import Link, ip, mac
+from repro.net.node import Node
+from repro.sim import Simulator
+
+
+def test_port_indexing_and_errors():
+    sim = Simulator()
+    node = Node(sim, "n", 3)
+    assert node.port(2).index == 2
+    with pytest.raises(TopologyError):
+        node.port(3)
+    with pytest.raises(TopologyError):
+        node.port(-1)
+    with pytest.raises(TopologyError):
+        Node(sim, "bad", -1)
+
+
+def test_add_port_extends():
+    sim = Simulator()
+    node = Node(sim, "n", 1)
+    port = node.add_port()
+    assert port.index == 1
+    assert len(node.ports) == 2
+
+
+def test_free_port_skips_wired_and_disabled():
+    sim = Simulator()
+    a = Node(sim, "a", 3)
+    b = Node(sim, "b", 1)
+    Link(sim, a.port(0), b.port(0))
+    a.port(1).enabled = False
+    assert a.free_port() is a.port(2)
+    Link(sim, a.port(2), Node(sim, "c", 1).port(0))
+    with pytest.raises(TopologyError):
+        a.free_port()
+
+
+def test_default_receive_drops_silently():
+    sim = Simulator()
+    a = Node(sim, "a", 1)
+    h = Host(sim, "h", mac("00:00:00:00:00:01"), ip("10.0.0.1"))
+    Link(sim, a.port(0), h.nic)
+    h.gratuitous_arp()
+    sim.run(until=0.01)  # delivered into Node.receive: no-op, no crash
+    assert a.port(0).counters.rx_frames == 1

@@ -1,0 +1,120 @@
+"""PortLand on a hand-built tree with *asymmetric pods*.
+
+The paper claims generality over multi-rooted trees; this goes further
+than the uniform irregular builder: pods with different numbers of edge
+switches and hosts (aggregation counts stay uniform — the core-group
+wiring invariant multi-rooted trees require). LDP, position agreement,
+pod assignment, forwarding, and fault recovery must all still work.
+"""
+
+from repro.host.apps import UdpEchoServer, UdpPinger, UdpStreamReceiver, UdpStreamSender
+from repro.portland.messages import SwitchLevel
+from repro.sim import Simulator
+from repro.topology import LinkParams, build_portland_fabric
+from repro.topology.fattree import FatTree, HostSpec, WireSpec, host_ip, host_mac
+from repro.topology.validate import validate_tree
+
+
+def build_asymmetric_tree() -> FatTree:
+    """Pod 0: 3 edges × 2 hosts; pod 1: 1 edge × 1 host; pod 2: 2 edges
+    × 1 host. Two aggs per pod, one core per group (2 cores)."""
+    tree = FatTree(k=8)
+    pods = {0: 3, 1: 1, 2: 2}          # edges per pod
+    hosts_per_pod = {0: 2, 1: 1, 2: 1}  # hosts per edge
+    aggs_per_pod = 2
+    cores = 2
+
+    for pod, edge_count in pods.items():
+        for e in range(edge_count):
+            tree.edge_names.append(f"edge-p{pod}-s{e}")
+        for a in range(aggs_per_pod):
+            tree.agg_names.append(f"agg-p{pod}-s{a}")
+    for c in range(cores):
+        tree.core_names.append(f"core-{c}")
+
+    for pod, edge_count in pods.items():
+        nhosts = hosts_per_pod[pod]
+        for e in range(edge_count):
+            edge = f"edge-p{pod}-s{e}"
+            for i in range(nhosts):
+                name = f"host-p{pod}-e{e}-{i}"
+                tree.hosts.append(HostSpec(
+                    name=name, pod=pod, edge=e, index=i,
+                    mac=host_mac(pod, e, i), ip=host_ip(pod, e, i),
+                    edge_switch=edge, edge_port=i))
+                tree.host_wires.append(WireSpec(name, 0, edge, i))
+            for a in range(aggs_per_pod):
+                tree.switch_wires.append(WireSpec(
+                    edge, nhosts + a, f"agg-p{pod}-s{a}", e))
+        for a in range(aggs_per_pod):
+            tree.switch_wires.append(WireSpec(
+                f"agg-p{pod}-s{a}", edge_count, f"core-{a}", pod))
+    return tree
+
+
+def converged_asymmetric(seed=121, carrier=True):
+    tree = build_asymmetric_tree()
+    validate_tree(tree)
+    sim = Simulator(seed=seed)
+    fabric = build_portland_fabric(
+        sim, tree=tree, link_params=LinkParams(carrier_detect=carrier))
+    fabric.start()
+    fabric.run_until_located(timeout_s=10.0)
+    fabric.announce_hosts()
+    fabric.run_until_registered(timeout_s=10.0)
+    return fabric
+
+
+def test_discovery_on_asymmetric_pods():
+    fabric = converged_asymmetric()
+    levels = {}
+    for name, agent in fabric.agents.items():
+        levels.setdefault(agent.level, []).append(name)
+    assert len(levels[SwitchLevel.EDGE]) == 6
+    assert len(levels[SwitchLevel.AGGREGATION]) == 6
+    assert len(levels[SwitchLevel.CORE]) == 2
+    # Three distinct pod numbers; positions unique within each pod.
+    pods = {}
+    for name, agent in fabric.agents.items():
+        if agent.level is SwitchLevel.EDGE:
+            pods.setdefault(agent.ldp.pod, []).append(agent.ldp.position)
+    assert len(pods) == 3
+    for positions in pods.values():
+        assert len(set(positions)) == len(positions)
+
+
+def test_all_pairs_reachable_on_asymmetric_pods():
+    fabric = converged_asymmetric(seed=122)
+    sim = fabric.sim
+    hosts = fabric.host_list()
+    target = hosts[-1]
+    UdpEchoServer(target, 7)
+    pingers = [UdpPinger(h, target.ip) for h in hosts[:-1]]
+    for pinger in pingers:
+        pinger.ping()
+    sim.run(until=sim.now + 1.0)
+    assert all(p.answered == 1 for p in pingers)
+
+
+def test_failover_on_asymmetric_pods():
+    fabric = converged_asymmetric(seed=123, carrier=False)
+    sim = fabric.sim
+    hosts = fabric.host_list()
+    # Big pod (0) talks to the single-edge pod (1).
+    src = hosts[0]
+    dst = next(fabric.hosts[s.name] for s in fabric.tree.hosts if s.pod == 1)
+    rx = UdpStreamReceiver(dst, 5001)
+    UdpStreamSender(src, dst.ip, 5001, rate_pps=1000).start()
+    sim.run(until=1.0)
+    # Fail the destination edge's active uplink.
+    edge = fabric.switches["edge-p1-s0"]
+    up = {p.index: p.counters.rx_frames for p in edge.ports
+          if p.link is not None and p.index >= 1}
+    active = max(up, key=up.get)
+    peer = edge.ports[active].peer.node.name
+    fabric.link_between("edge-p1-s0", peer).fail()
+    sim.run(until=2.5)
+    gap, _s, _e = rx.max_gap(0.9, 2.5)
+    assert gap < 0.4
+    late = [t for t in rx.arrival_times() if t > 2.3]
+    assert len(late) > 150

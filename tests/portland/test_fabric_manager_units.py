@@ -1,0 +1,110 @@
+"""Direct unit tests for fabric-manager request handling."""
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.portland.config import PortlandConfig
+from repro.portland.fabric_manager import FabricManager
+from repro.portland.messages import (
+    ArpQuery,
+    NeighborReport,
+    PodRequest,
+    RegisterHost,
+    SwitchLevel,
+)
+from repro.sim import Simulator
+
+EDGE_A = 0x020000000001
+EDGE_B = 0x020000000002
+IP_1 = IPv4Address.parse("10.0.0.2")
+AMAC_1 = MacAddress.parse("02:00:00:00:00:01")
+PMAC_1 = MacAddress.parse("00:00:00:00:00:01")
+PMAC_2 = MacAddress.parse("00:01:00:01:00:01")
+
+
+def make_fm():
+    sim = Simulator(seed=1)
+    fm = FabricManager(sim, PortlandConfig())
+    sent = []
+    fm.send_to_switch = lambda sid, msg: sent.append((sid, msg))
+    return sim, fm, sent
+
+
+def test_pod_assignment_is_idempotent_and_monotone():
+    _sim, fm, sent = make_fm()
+    fm._dispatch(PodRequest(EDGE_A))
+    fm._dispatch(PodRequest(EDGE_A))  # same switch asks twice
+    fm._dispatch(PodRequest(EDGE_B))
+    pods = [msg.pod for _sid, msg in sent]
+    assert pods == [0, 0, 1]
+
+
+def test_arp_query_hit_and_miss():
+    _sim, fm, sent = make_fm()
+    fm._dispatch(RegisterHost(EDGE_A, 0, AMAC_1, IP_1, PMAC_1))
+    fm._dispatch(ArpQuery(7, EDGE_B, IPv4Address.parse("10.0.1.2"),
+                          PMAC_2, IP_1))
+    sid, response = sent[-1]
+    assert sid == EDGE_B
+    assert response.found and response.pmac == PMAC_1
+    assert fm.arp_misses == 0
+
+    # Miss: not-found response to the asker plus a flood to every edge.
+    fm._on_neighbor_report(NeighborReport(EDGE_A, SwitchLevel.EDGE, 0, 0, ()))
+    fm._on_neighbor_report(NeighborReport(EDGE_B, SwitchLevel.EDGE, 1, 0, ()))
+    sent.clear()
+    fm._dispatch(ArpQuery(8, EDGE_B, IPv4Address.parse("10.0.1.2"),
+                          PMAC_2, IPv4Address.parse("10.9.9.9")))
+    assert fm.arp_misses == 1
+    kinds = [type(msg).__name__ for _sid, msg in sent]
+    assert kinds.count("ArpResponse") == 1
+    assert kinds.count("ArpFlood") == 2  # both edges
+
+
+def test_reregistration_same_place_is_not_migration():
+    _sim, fm, sent = make_fm()
+    fm._dispatch(RegisterHost(EDGE_A, 0, AMAC_1, IP_1, PMAC_1))
+    sent.clear()
+    fm._dispatch(RegisterHost(EDGE_A, 0, AMAC_1, IP_1, PMAC_1))
+    assert sent == []  # no Invalidate for a soft-state refresh
+
+
+def test_move_triggers_invalidate_to_old_edge():
+    _sim, fm, sent = make_fm()
+    fm._dispatch(RegisterHost(EDGE_A, 0, AMAC_1, IP_1, PMAC_1))
+    sent.clear()
+    fm._dispatch(RegisterHost(EDGE_B, 1, AMAC_1, IP_1, PMAC_2))
+    assert len(sent) == 1
+    sid, msg = sent[0]
+    assert sid == EDGE_A
+    assert type(msg).__name__ == "Invalidate"
+    assert msg.old_pmac == PMAC_1 and msg.new_pmac == PMAC_2
+    assert fm.hosts_by_ip[IP_1].edge_id == EDGE_B
+
+
+def test_duplicate_link_fail_reports_are_idempotent():
+    _sim, fm, sent = make_fm()
+    fm._on_neighbor_report(NeighborReport(EDGE_A, SwitchLevel.EDGE, 0, 0, ()))
+    fm._on_link_change(EDGE_A, EDGE_B, failed=True)
+    after_first = len(sent)
+    fm._on_link_change(EDGE_B, EDGE_A, failed=True)  # other side reports
+    assert len(sent) == after_first  # no duplicate fan-out
+    assert len(fm.fault_matrix) == 1
+    fm._on_link_change(EDGE_A, EDGE_B, failed=False)
+    fm._on_link_change(EDGE_A, EDGE_B, failed=False)
+    assert len(fm.fault_matrix) == 0
+
+
+def test_utilization_accounting():
+    sim, fm, _sent = make_fm()
+    assert fm.utilization(0.0) == 0.0
+    fm.busy_time = 0.25
+    assert fm.utilization(1.0) == 0.25
+
+
+def test_neighbor_report_updates_pod_watermark():
+    _sim, fm, _sent = make_fm()
+    fm._on_neighbor_report(NeighborReport(EDGE_A, SwitchLevel.EDGE, 5, 0, ()))
+    assert fm._next_pod == 6
+    # UNKNOWN pod sentinel (0xFFFF) must not poison the watermark.
+    fm._on_neighbor_report(NeighborReport(EDGE_B, SwitchLevel.EDGE,
+                                          0xFFFF, 0xFF, ()))
+    assert fm._next_pod == 6

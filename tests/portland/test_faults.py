@@ -1,0 +1,138 @@
+"""Unit tests for the fabric manager's fault-override computation."""
+
+from repro.portland.faults import compute_overrides, diff_overrides
+from repro.portland.messages import SwitchLevel
+from repro.portland.pmac import position_prefix
+from repro.portland.topology_view import FabricView, SwitchRecord
+
+
+def make_fat_tree_view(k=4, failed=()):
+    """A hand-built k=4 fat-tree FabricView with integer switch ids.
+
+    Ids: edges 100+index, aggs 200+index, cores 300+index, where index =
+    pod * (k/2) + pos for edges/aggs.
+    """
+    half = k // 2
+    switches = {}
+
+    def add(sid, level, pod=None, position=None):
+        record = SwitchRecord(sid)
+        record.level = level
+        record.pod = pod
+        record.position = position
+        switches[sid] = record
+        return record
+
+    for pod in range(k):
+        for i in range(half):
+            add(100 + pod * half + i, SwitchLevel.EDGE, pod, i)
+            add(200 + pod * half + i, SwitchLevel.AGGREGATION, pod)
+    for c in range(half * half):
+        add(300 + c, SwitchLevel.CORE)
+
+    # Wire: edge <-> agg (full bipartite per pod); agg a <-> core group a.
+    for pod in range(k):
+        for e in range(half):
+            edge = switches[100 + pod * half + e]
+            for a in range(half):
+                agg = switches[200 + pod * half + a]
+                edge.neighbors[half + a] = (agg.switch_id, SwitchLevel.AGGREGATION)
+                agg.neighbors[e] = (edge.switch_id, SwitchLevel.EDGE)
+        for a in range(half):
+            agg = switches[200 + pod * half + a]
+            for j in range(half):
+                core = switches[300 + a * half + j]
+                agg.neighbors[half + j] = (core.switch_id, SwitchLevel.CORE)
+                core.neighbors[pod] = (agg.switch_id, SwitchLevel.AGGREGATION)
+
+    return FabricView(switches, set(frozenset(f) for f in failed))
+
+
+def test_view_structure_queries():
+    view = make_fat_tree_view()
+    assert len(view.edges()) == 8
+    assert len(view.aggregations()) == 8
+    assert len(view.cores()) == 4
+    assert view.pod(100) == 0 and view.position(101) == 1
+    assert view.port_toward(100, 200) == 2
+    assert view.adjacent(100, 200)
+    assert not view.adjacent(100, 300)
+    # Aggregation group: agg 200 (pod0, idx0) shares cores with 202/204/206.
+    assert view.agg_group(200) == {200, 202, 204, 206}
+    assert view.agg_group(201) == {201, 203, 205, 207}
+
+
+def test_alive_respects_fault_matrix():
+    view = make_fat_tree_view(failed=[(100, 200)])
+    assert not view.alive(100, 200)
+    assert view.alive(100, 201)
+
+
+def test_no_failures_no_overrides():
+    assert compute_overrides(make_fat_tree_view()) == {}
+
+
+def test_agg_edge_failure_overrides():
+    # Fail agg 200 (pod0, group0) <-> edge 101 (pod0, pos1).
+    view = make_fat_tree_view(failed=[(200, 101)])
+    overrides = compute_overrides(view)
+    prefix = position_prefix(0, 1)
+    key = (prefix[0].value, prefix[1])
+    # Every other edge gets an update, plus the remote group-0 aggs
+    # (whose cores can no longer descend to the broken edge).
+    assert set(overrides) == {100, 102, 103, 104, 105, 106, 107,
+                              202, 204, 206}
+    # Same-pod edge avoids just the broken agg.
+    assert overrides[100][key] == {200}
+    # A remote edge avoids its local group-0 aggregation switch.
+    assert overrides[102][key] == {202}
+    # Remote group-0 aggs avoid their (now useless) cores for the prefix.
+    assert overrides[202][key] == {300, 301}
+
+
+def test_core_agg_failure_overrides():
+    # Fail core 300 <-> agg 200 (pod0, group 0).
+    view = make_fat_tree_view(failed=[(300, 200)])
+    overrides = compute_overrides(view)
+    # Other group-0 aggs (in pods 1..3) avoid core 300 for both pod-0
+    # position prefixes; no edge needs an update (every local agg still
+    # reaches pod 0 through some core).
+    assert set(overrides) == {202, 204, 206}
+    for position in (0, 1):
+        prefix = position_prefix(0, position)
+        key = (prefix[0].value, prefix[1])
+        for sid in (202, 204, 206):
+            assert overrides[sid][key] == {300}
+
+
+def test_multiple_failures_merge_avoid_sets():
+    # Both pod-0 aggs lose their link to edge 101.
+    view = make_fat_tree_view(failed=[(200, 101), (201, 101)])
+    overrides = compute_overrides(view)
+    prefix = position_prefix(0, 1)
+    key = (prefix[0].value, prefix[1])
+    # The prefix is unreachable: every uplink everywhere is avoided.
+    assert overrides[102][key] == {202, 203}
+    assert overrides[100][key] == {200, 201}
+    assert overrides[202][key] == {300, 301}
+
+
+def test_host_and_unknown_links_ignored():
+    view = make_fat_tree_view(failed=[(100, 999)])  # unknown endpoint
+    assert compute_overrides(view) == {}
+
+
+def test_diff_overrides():
+    old = {1: {(0xA, 24): {7}}, 2: {(0xB, 16): {8}}}
+    new = {1: {(0xA, 24): {7, 9}}, 3: {(0xC, 24): {5}}}
+    updates, clears = diff_overrides(old, new)
+    assert (1, (0xA, 24), (7, 9)) in updates
+    assert (3, (0xC, 24), (5,)) in updates
+    assert (2, (0xB, 16)) in clears
+    assert len(updates) == 2 and len(clears) == 1
+
+
+def test_diff_overrides_no_change_is_empty():
+    state = {1: {(0xA, 24): {7}}}
+    updates, clears = diff_overrides(state, {1: {(0xA, 24): {7}}})
+    assert updates == [] and clears == []

@@ -1,0 +1,125 @@
+"""Codec roundtrips for every LDP and fabric-manager message."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.portland.messages import (
+    ArpFlood,
+    BroadcastRelay,
+    DisableLink,
+    EnableLink,
+    ArpQuery,
+    ArpResponse,
+    FaultClear,
+    FaultUpdate,
+    GratuitousArp,
+    IgmpRelay,
+    Invalidate,
+    LinkFail,
+    LinkRecover,
+    LocationDiscoveryMessage,
+    McastInstall,
+    McastMiss,
+    McastRemove,
+    NeighborReport,
+    PodReply,
+    PodRequest,
+    PositionAck,
+    PositionProposal,
+    RegisterHost,
+    SwitchLevel,
+    decode_fabric,
+    decode_ldp,
+)
+
+MAC = MacAddress(0x0011_2233_4455)
+IP = IPv4Address.parse("10.1.2.3")
+GROUP = IPv4Address.parse("239.0.0.7")
+SID = 0xAABB_CCDD_EEFF
+
+
+def test_ldm_roundtrip():
+    ldm = LocationDiscoveryMessage(SID, SwitchLevel.AGGREGATION, 3, 1, 42)
+    decoded = decode_ldp(ldm.encode())
+    assert decoded == ldm
+    assert decoded.wire_length() == len(ldm.encode())
+
+
+def test_position_messages_roundtrip():
+    assert decode_ldp(PositionProposal(SID, 2).encode()) == PositionProposal(SID, 2)
+    assert decode_ldp(PositionAck(SID, 2, True).encode()) == PositionAck(SID, 2, True)
+    assert decode_ldp(PositionAck(SID, 2, False).encode()).granted is False
+
+
+def test_ldp_decode_rejects_unknown():
+    with pytest.raises(CodecError):
+        decode_ldp(b"\xff\x00")
+    with pytest.raises(CodecError):
+        decode_ldp(b"")
+
+
+FABRIC_MESSAGES = [
+    RegisterHost(SID, 3, MAC, IP, MacAddress(0x0001_0203_0405)),
+    ArpQuery(77, SID, IP, MAC, IPv4Address.parse("10.9.9.9")),
+    ArpResponse(77, IP, MAC, True),
+    ArpResponse(78, IP, MacAddress(0), False),
+    ArpFlood(IP, IPv4Address.parse("10.4.4.4"), MAC),
+    PodRequest(SID),
+    PodReply(13),
+    NeighborReport(SID, SwitchLevel.EDGE, 3, 1,
+                   ((2, 0x1111, SwitchLevel.AGGREGATION),
+                    (3, 0x2222, SwitchLevel.AGGREGATION))),
+    NeighborReport(SID, SwitchLevel.CORE, 0xFFFF, 0xFF, ()),
+    LinkFail(SID, 2, 0x3333),
+    LinkRecover(SID, 2, 0x3333),
+    FaultUpdate(MAC, 24, (0x111, 0x222, 0x333)),
+    FaultUpdate(MAC, 16, ()),
+    FaultClear(MAC, 24),
+    McastInstall(GROUP.multicast_mac(), (0, 2, 3)),
+    McastInstall(GROUP.multicast_mac(), ()),
+    McastRemove(GROUP.multicast_mac()),
+    IgmpRelay(SID, 1, GROUP, True, IP),
+    IgmpRelay(SID, 1, GROUP, False, IP),
+    McastMiss(SID, GROUP),
+    Invalidate(IP, MAC, MacAddress(0x0001_0203_0405)),
+    GratuitousArp(IP, MAC),
+    DisableLink(SID),
+    EnableLink(SID),
+    BroadcastRelay(SID, MAC, 0x0800, b"\x01\x02\x03"),
+    BroadcastRelay(SID, MAC, 0x0800, b""),
+]
+
+
+@pytest.mark.parametrize("message", FABRIC_MESSAGES,
+                         ids=lambda m: type(m).__name__ + str(id(m) % 97))
+def test_fabric_message_roundtrip(message):
+    raw = message.encode()
+    assert len(raw) == message.wire_length()
+    decoded = decode_fabric(raw)
+    assert decoded == message
+    assert type(decoded) is type(message)
+
+
+def test_fabric_decode_rejects_unknown_type():
+    with pytest.raises(CodecError):
+        decode_fabric(b"\xf0abc")
+    with pytest.raises(CodecError):
+        decode_fabric(b"")
+
+
+@given(request_id=st.integers(0, 2**32 - 1),
+       sid=st.integers(0, 2**48 - 1),
+       target=st.integers(0, 2**32 - 1))
+def test_arp_query_roundtrip_property(request_id, sid, target):
+    query = ArpQuery(request_id, sid, IP, MAC, IPv4Address(target))
+    decoded = decode_fabric(query.encode())
+    assert decoded == query
+
+
+@given(ports=st.lists(st.integers(0, 255), max_size=40, unique=True))
+def test_mcast_install_roundtrip_property(ports):
+    message = McastInstall(GROUP.multicast_mac(), tuple(ports))
+    assert decode_fabric(message.encode()) == message

@@ -1,0 +1,121 @@
+"""Unit tests for the fabric manager's multicast tree computation."""
+
+from repro.net.addresses import IPv4Address
+from repro.portland.multicast import MulticastManager
+from repro.portland.messages import SwitchLevel
+
+from tests.portland.test_faults import make_fat_tree_view
+
+GROUP = IPv4Address.parse("239.1.1.1")
+HOST_A = IPv4Address.parse("10.0.0.2")
+HOST_B = IPv4Address.parse("10.2.0.2")
+
+
+class Recorder:
+    def __init__(self):
+        self.installed = {}
+        self.removed = []
+
+    def install(self, switch_id, group, ports):
+        self.installed[switch_id] = ports
+
+    def remove(self, switch_id, group):
+        self.installed.pop(switch_id, None)
+        self.removed.append(switch_id)
+
+
+def manager():
+    rec = Recorder()
+    return MulticastManager(rec.install, rec.remove), rec
+
+
+def test_single_pod_tree_still_uses_core():
+    mgr, rec = manager()
+    view = make_fat_tree_view()
+    mgr.on_membership(view, edge_id=100, port=0, group=GROUP, join=True,
+                      host_ip=HOST_A)
+    # Tree: edge 100 (host port + uplink), one agg in pod0, one core.
+    assert 100 in rec.installed
+    assert 0 in rec.installed[100]  # member host port
+    agg_ids = [sid for sid in rec.installed if 200 <= sid < 300]
+    core_ids = [sid for sid in rec.installed if sid >= 300]
+    assert len(agg_ids) == 1 and len(core_ids) == 1
+
+
+def test_two_pod_tree_spans_via_one_core():
+    mgr, rec = manager()
+    view = make_fat_tree_view()
+    mgr.on_membership(view, 100, 0, GROUP, True, HOST_A)
+    mgr.on_membership(view, 104, 1, GROUP, True, HOST_B)  # pod 2
+    core_ids = [sid for sid in rec.installed if sid >= 300]
+    assert len(core_ids) == 1
+    core_ports = rec.installed[core_ids[0]]
+    assert len(core_ports) == 2  # fans to both member pods
+    assert 0 in rec.installed[100] and 1 in rec.installed[104]
+
+
+def test_sender_only_pod_gets_uplink_path():
+    mgr, rec = manager()
+    view = make_fat_tree_view()
+    mgr.on_membership(view, 100, 0, GROUP, True, HOST_A)
+    mgr.on_sender(view, 106, GROUP)  # sender in pod 3, no receivers there
+    assert 106 in rec.installed
+    # Sender edge entry points up only (no host ports).
+    assert all(p >= 2 for p in rec.installed[106])
+
+
+def test_leave_prunes_and_empties():
+    mgr, rec = manager()
+    view = make_fat_tree_view()
+    mgr.on_membership(view, 100, 0, GROUP, True, HOST_A)
+    mgr.on_membership(view, 104, 1, GROUP, True, HOST_B)
+    mgr.on_membership(view, 104, 1, GROUP, False, HOST_B)
+    assert 104 not in rec.installed
+    mgr.on_membership(view, 100, 0, GROUP, False, HOST_A)
+    assert rec.installed == {}
+
+
+def test_fault_moves_tree_to_alive_core():
+    mgr, rec = manager()
+    view = make_fat_tree_view()
+    mgr.on_membership(view, 100, 0, GROUP, True, HOST_A)
+    mgr.on_membership(view, 104, 1, GROUP, True, HOST_B)
+    old_core = [sid for sid in rec.installed if sid >= 300][0]
+    old_aggs = {sid for sid in rec.installed if 200 <= sid < 300}
+
+    # Fail the link from the chosen core into pod 0's member agg.
+    pod0_agg = next(iter(old_aggs & {200, 201}))
+    failed_view = make_fat_tree_view(failed=[(old_core, pod0_agg)])
+    mgr.on_topology_change(failed_view)
+
+    new_core = [sid for sid in rec.installed if sid >= 300][0]
+    assert new_core != old_core
+    # Both member edges still on the tree with their host ports.
+    assert 0 in rec.installed[100] and 1 in rec.installed[104]
+
+
+def test_partition_removes_all_entries():
+    mgr, rec = manager()
+    view = make_fat_tree_view()
+    mgr.on_membership(view, 100, 0, GROUP, True, HOST_A)
+    # Fail every agg-core link of pod 0: no core can reach the members.
+    failures = [(200, 300), (200, 301), (201, 302), (201, 303)]
+    mgr.on_topology_change(make_fat_tree_view(failed=failures))
+    assert rec.installed == {}
+
+
+def test_multiple_members_same_edge_share_entry():
+    mgr, rec = manager()
+    view = make_fat_tree_view()
+    mgr.on_membership(view, 100, 0, GROUP, True, HOST_A)
+    mgr.on_membership(view, 100, 1, GROUP, True, HOST_B)
+    assert {0, 1} <= set(rec.installed[100])
+
+
+def test_duplicate_join_same_host_is_stable():
+    mgr, rec = manager()
+    view = make_fat_tree_view()
+    mgr.on_membership(view, 100, 0, GROUP, True, HOST_A)
+    snapshot = dict(rec.installed)
+    mgr.on_membership(view, 100, 0, GROUP, True, HOST_A)
+    assert rec.installed == snapshot

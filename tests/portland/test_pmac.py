@@ -1,0 +1,87 @@
+"""Unit & property tests for PMAC structure and allocation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.portland.pmac import (
+    Pmac,
+    PmacAllocator,
+    pod_prefix,
+    position_prefix,
+)
+from repro.switching.flow_table import mac_prefix_mask
+
+
+def test_pmac_field_packing():
+    pmac = Pmac(pod=0x0012, position=0x34, port=0x56, vmid=0x789A)
+    mac = pmac.to_mac()
+    assert str(mac) == "00:12:34:56:78:9a"
+    assert Pmac.from_mac(mac) == pmac
+
+
+def test_pmac_rejects_out_of_range_fields():
+    with pytest.raises(AddressError):
+        Pmac(pod=-1, position=0, port=0, vmid=0)
+    with pytest.raises(AddressError):
+        Pmac(pod=0, position=256, port=0, vmid=0)
+    with pytest.raises(AddressError):
+        Pmac(pod=0, position=0, port=256, vmid=0)
+    with pytest.raises(AddressError):
+        Pmac(pod=0, position=0, port=0, vmid=1 << 16)
+
+
+def test_pmac_rejects_multicast_pod():
+    # Pod 256 sets bit 8 -> the Ethernet I/G bit -> unroutable as unicast.
+    with pytest.raises(AddressError):
+        Pmac(pod=256, position=0, port=0, vmid=0)
+    Pmac(pod=255, position=0, port=0, vmid=0)  # fine
+
+
+def test_prefixes_cover_their_pmacs():
+    value, bits = pod_prefix(7)
+    mask = mac_prefix_mask(bits)
+    member = Pmac(7, 3, 2, 99).to_mac()
+    stranger = Pmac(8, 3, 2, 99).to_mac()
+    assert member.value & mask == value.value & mask
+    assert stranger.value & mask != value.value & mask
+
+    value, bits = position_prefix(7, 3)
+    mask = mac_prefix_mask(bits)
+    assert Pmac(7, 3, 0, 0).to_mac().value & mask == value.value & mask
+    assert Pmac(7, 4, 0, 0).to_mac().value & mask != value.value & mask
+
+
+def test_allocator_unique_and_released():
+    alloc = PmacAllocator(pod=1, position=2)
+    a = alloc.allocate(port=0)
+    b = alloc.allocate(port=0)
+    c = alloc.allocate(port=1)
+    assert len({a, b, c}) == 3
+    assert a.port == 0 and c.port == 1
+    assert alloc.allocated_count() == 3
+    alloc.release(a)
+    assert alloc.allocated_count() == 2
+    reused = alloc.allocate(port=0)
+    assert reused.vmid == a.vmid  # freed vmid is recycled
+
+
+def test_allocator_rejects_foreign_pmac():
+    alloc = PmacAllocator(pod=1, position=2)
+    with pytest.raises(AddressError):
+        alloc.release(Pmac(9, 9, 0, 0))
+
+
+def test_release_unallocated_is_noop():
+    alloc = PmacAllocator(pod=1, position=2)
+    alloc.release(Pmac(1, 2, 0, 42))  # never allocated: ignored
+    assert alloc.allocated_count() == 0
+
+
+@given(pod=st.integers(0, 255), position=st.integers(0, 255),
+       port=st.integers(0, 255), vmid=st.integers(0, 65535))
+def test_pmac_roundtrip_property(pod, position, port, vmid):
+    pmac = Pmac(pod, position, port, vmid)
+    assert Pmac.from_mac(pmac.to_mac()) == pmac
+    assert not pmac.to_mac().is_multicast

@@ -1,0 +1,132 @@
+"""Unit tests for the PortlandSwitch two-stage pipeline."""
+
+from repro.net import AppData, EthernetFrame, Link, mac
+from repro.net.ethernet import ETHERTYPE_FABRIC, ETHERTYPE_IPV4, ETHERTYPE_LDP
+from repro.net.node import Node
+from repro.portland.switch import PortlandSwitch
+from repro.sim import Simulator
+from repro.switching.flow_table import Match, Output, SetEthDst, SetEthSrc, ToAgent
+from repro.switching.switch import SwitchAgent
+
+
+class Sink(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name, 1)
+        self.received = []
+
+    def receive(self, frame, in_port):
+        self.received.append(frame)
+
+
+class Recorder(SwitchAgent):
+    def __init__(self, switch):
+        super().__init__(switch)
+        self.punts = []
+
+    def on_packet_in(self, frame, in_port, reason):
+        self.punts.append((frame, reason))
+
+
+def build(sim):
+    switch = PortlandSwitch(sim, "psw", 3, agent_delay_s=1e-6)
+    agent = Recorder(switch)
+    switch.attach_agent(agent)
+    sinks = [Sink(sim, f"s{i}") for i in range(3)]
+    for i, sink in enumerate(sinks):
+        Link(sim, switch.port(i), sink.port(0), carrier_detect=False)
+    return switch, agent, sinks
+
+
+def frame(dst="00:00:00:00:00:aa", src="00:00:00:00:00:01",
+          ethertype=ETHERTYPE_IPV4):
+    return EthernetFrame(mac(dst), mac(src), ethertype, AppData(10))
+
+
+def test_rewrite_stage_continues_to_forwarding():
+    sim = Simulator()
+    switch, _agent, sinks = build(sim)
+    pmac = mac("00:07:01:00:00:00")
+    switch.rewrite_table.install(
+        Match(in_port=0, eth_src=mac("00:00:00:00:00:01")),
+        (SetEthSrc(pmac),), 500, "ingress")
+    switch.table.install(Match(), (Output(2),), 100, "up")
+    switch.receive(frame(), switch.port(0))
+    sim.run()
+    assert sinks[2].received[0].src == pmac
+
+
+def test_terminal_rewrite_entry_consumes_frame():
+    sim = Simulator()
+    switch, agent, sinks = build(sim)
+    switch.rewrite_table.install(Match(in_port=0), (ToAgent("new-host"),),
+                                 100, "trap")
+    switch.table.install(Match(), (Output(2),), 100, "up")
+    switch.receive(frame(), switch.port(0))
+    sim.run()
+    assert agent.punts and agent.punts[0][1] == "new-host"
+    assert sinks[2].received == []  # never reached stage 2
+
+
+def test_ldp_frames_bypass_tables():
+    sim = Simulator()
+    switch, agent, _sinks = build(sim)
+    switch.table.install(Match(), (Output(2),), 100, "up")
+    switch.receive(frame(ethertype=ETHERTYPE_LDP), switch.port(0))
+    sim.run()
+    assert agent.punts[0][1] == "ldp"
+
+
+def test_control_port_frames_reach_agent():
+    sim = Simulator()
+    switch, agent, _sinks = build(sim)
+    control = switch.attach_control_port()
+    fm_side = Sink(sim, "fm")
+    Link(sim, control, fm_side.port(0))
+    fm_side.port(0).send(frame(ethertype=ETHERTYPE_FABRIC))
+    sim.run()
+    assert agent.punts[0][1] == "control"
+
+
+def test_send_control_requires_port():
+    sim = Simulator()
+    switch, _agent, _sinks = build(sim)
+    assert switch.send_control(frame()) is False
+    control = switch.attach_control_port()
+    fm_side = Sink(sim, "fm")
+    Link(sim, control, fm_side.port(0))
+    assert switch.send_control(frame()) is True
+    sim.run()
+    assert len(fm_side.received) == 1
+
+
+def test_inject_skips_punt_entries():
+    sim = Simulator()
+    switch, agent, sinks = build(sim)
+    switch.table.install(Match(), (ToAgent("loop"),), 500, "punt")
+    switch.table.install(Match(), (Output(1),), 100, "out")
+    switch.inject(frame())
+    sim.run()
+    assert agent.punts == []  # punt entry skipped
+    assert len(sinks[1].received) == 1
+
+
+def test_inject_miss_counts_drop():
+    sim = Simulator()
+    switch, _agent, _sinks = build(sim)
+    switch.inject(frame())
+    assert switch.miss_drops == 1
+
+
+def test_rewrite_dst_applies_before_forwarding_lookup():
+    sim = Simulator()
+    switch, _agent, sinks = build(sim)
+    target = mac("00:00:00:00:00:bb")
+    switch.rewrite_table.install(Match(in_port=0),
+                                 (SetEthDst(target),), 100, "rw")
+    # Forwarding matches on the REWRITTEN destination.
+    switch.table.install(Match(eth_dst=target), (Output(1),), 200, "hit")
+    switch.table.install(Match(), (Output(2),), 100, "default")
+    switch.receive(frame(dst="00:00:00:00:00:aa"), switch.port(0))
+    sim.run()
+    assert len(sinks[1].received) == 1
+    assert sinks[2].received == []

@@ -1,0 +1,74 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, EventQueue
+
+
+def test_pop_orders_by_time():
+    q = EventQueue()
+    seen = []
+    q.push(3.0, seen.append, ("c",))
+    q.push(1.0, seen.append, ("a",))
+    q.push(2.0, seen.append, ("b",))
+    while (event := q.pop()) is not None:
+        event.callback(*event.args)
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_orders_by_priority_then_fifo():
+    q = EventQueue()
+    order = []
+    q.push(1.0, order.append, ("normal-1",), priority=PRIORITY_NORMAL)
+    q.push(1.0, order.append, ("low",), priority=PRIORITY_LOW)
+    q.push(1.0, order.append, ("high",), priority=PRIORITY_HIGH)
+    q.push(1.0, order.append, ("normal-2",), priority=PRIORITY_NORMAL)
+    while (event := q.pop()) is not None:
+        event.callback(*event.args)
+    assert order == ["high", "normal-1", "normal-2", "low"]
+
+
+def test_cancel_skips_event():
+    q = EventQueue()
+    fired = []
+    event = q.push(1.0, fired.append, ("x",))
+    event.cancel()
+    q.note_cancelled()
+    assert q.pop() is None
+    assert fired == []
+    assert len(q) == 0
+
+
+def test_len_counts_only_live_events():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+    e1.cancel()
+    q.note_cancelled()
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    e1.cancel()
+    q.note_cancelled()
+    assert q.peek_time() == 2.0
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_clear_empties_queue():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.pop() is None

@@ -1,0 +1,106 @@
+"""Unit tests for timers and periodic tasks."""
+
+import pytest
+
+from repro.sim import PeriodicTask, Simulator, Timer
+
+
+def test_timer_fires_once():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, fired.append, "x")
+    timer.start(1.0)
+    assert timer.armed
+    assert timer.expires_at == 1.0
+    sim.run()
+    assert fired == ["x"]
+    assert not timer.armed
+
+
+def test_timer_restart_replaces_earlier_arming():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    timer.start(3.0)  # re-arm before expiry
+    sim.run()
+    assert fired == [3.0]
+
+
+def test_timer_stop_prevents_firing():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, fired.append, "x")
+    timer.start(1.0)
+    timer.stop()
+    sim.run()
+    assert fired == []
+
+
+def test_timer_can_be_rearmed_from_callback():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: None)
+
+    def cb():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            timer.start(1.0)
+
+    timer._callback = cb
+    timer.start(1.0)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_periodic_task_fires_at_period():
+    sim = Simulator()
+    ticks = []
+    task = PeriodicTask(sim, 0.5, lambda: ticks.append(sim.now))
+    task.start()
+    sim.run(until=2.2)
+    assert ticks == [0.5, 1.0, 1.5, 2.0]
+
+
+def test_periodic_task_stop_and_restart():
+    sim = Simulator()
+    ticks = []
+    task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+    task.start(0.0)
+    sim.run(until=2.5)
+    task.stop()
+    sim.run(until=5.0)
+    count_after_stop = len(ticks)
+    task.start()
+    sim.run(until=7.5)
+    assert len(ticks) > count_after_stop
+
+
+def test_periodic_task_jitter_stays_in_bounds():
+    sim = Simulator(seed=42)
+    ticks = []
+    task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now), jitter=0.2)
+    task.start(0.0)
+    sim.run(until=50.0)
+    gaps = [b - a for a, b in zip(ticks, ticks[1:])]
+    assert gaps, "task never ticked"
+    assert all(0.8 <= g <= 1.2 for g in gaps)
+    assert len(set(round(g, 9) for g in gaps)) > 1, "jitter had no effect"
+
+
+def test_periodic_task_rejects_bad_params():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTask(sim, 0.0, lambda: None)
+    with pytest.raises(ValueError):
+        PeriodicTask(sim, 1.0, lambda: None, jitter=1.5)
+
+
+def test_periodic_start_is_idempotent():
+    sim = Simulator()
+    ticks = []
+    task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+    task.start(0.5)
+    task.start(0.1)  # ignored: already running
+    sim.run(until=1.4)
+    assert ticks == [0.5]

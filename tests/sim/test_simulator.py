@@ -1,0 +1,122 @@
+"""Unit tests for the simulator core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_schedule_and_run_advances_clock():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.schedule(0.5, lambda: times.append(sim.now))
+    end = sim.run()
+    assert times == [0.5, 1.5]
+    assert end == 1.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_when_queue_drains():
+    sim = Simulator()
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_via_simulator():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.cancel(event)
+    sim.cancel(event)  # idempotent
+    sim.cancel(None)  # no-op
+    sim.run()
+    assert fired == []
+    assert sim.pending_events() == 0
+
+
+def test_stop_interrupts_run():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, fired.append, "second")
+    sim.run()
+    assert fired == ["first"]
+    # A later run picks the remaining event up.
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_max_events_guard():
+    sim = Simulator()
+    sim.max_events = 10
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def inner():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(0.0, inner)
+    sim.run()

@@ -1,0 +1,108 @@
+"""Unit and property tests for the statistics primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import (
+    Counter,
+    RateMeter,
+    TimeSeries,
+    cdf_points,
+    percentile,
+    summarize,
+)
+
+
+def test_counter_accumulates():
+    c = Counter("rx")
+    c.add()
+    c.add(2, nbytes=100)
+    assert c.count == 3
+    assert c.bytes == 100
+
+
+def test_time_series_window_and_last():
+    ts = TimeSeries("t")
+    for t, v in [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]:
+        ts.record(t, v)
+    assert ts.window(0.5, 2.0) == [(1.0, 2.0)]
+    assert ts.last_value() == 3.0
+    assert len(ts) == 3
+
+
+def test_time_series_rejects_time_travel():
+    ts = TimeSeries()
+    ts.record(1.0, 0.0)
+    with pytest.raises(ValueError):
+        ts.record(0.5, 0.0)
+
+
+def test_time_series_integrate_trapezoid():
+    ts = TimeSeries()
+    ts.record(0.0, 0.0)
+    ts.record(2.0, 2.0)
+    assert ts.integrate() == pytest.approx(2.0)
+
+
+def test_rate_meter_bins_and_zero_gaps():
+    meter = RateMeter(1.0)
+    meter.record(0.5, nbytes=100)
+    meter.record(2.5, nbytes=300)
+    series = dict(meter.series(0.0, 3.0))
+    assert series[0.0] == 1.0
+    assert series[1.0] == 0.0  # the outage bin is visible
+    assert series[2.0] == 1.0
+    byte_series = dict(meter.series(0.0, 3.0, bytes_per_sec=True))
+    assert byte_series[2.0] == 300.0
+    assert meter.total() == 2
+    assert meter.total_bytes() == 400
+
+
+def test_rate_meter_rejects_bad_bin():
+    with pytest.raises(ValueError):
+        RateMeter(0.0)
+
+
+def test_percentile_interpolates():
+    samples = [0.0, 10.0]
+    assert percentile(samples, 0.5) == 5.0
+    assert percentile(samples, 0.0) == 0.0
+    assert percentile(samples, 1.0) == 10.0
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+
+
+def test_summarize_basics():
+    stats = summarize([3.0, 1.0, 2.0])
+    assert stats.count == 3
+    assert stats.minimum == 1.0
+    assert stats.maximum == 3.0
+    assert stats.mean == pytest.approx(2.0)
+    assert stats.p50 == 2.0
+
+
+def test_cdf_points_monotone():
+    points = cdf_points([5.0, 1.0, 3.0])
+    values = [v for v, _f in points]
+    fracs = [f for _v, f in points]
+    assert values == sorted(values)
+    assert fracs[-1] == pytest.approx(1.0)
+    assert cdf_points([]) == []
+
+
+@given(st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_percentile_bounded_by_extremes(samples):
+    ordered = sorted(samples)
+    for frac in (0.0, 0.25, 0.5, 0.9, 1.0):
+        p = percentile(ordered, frac)
+        assert ordered[0] <= p <= ordered[-1]
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=100))
+def test_summarize_invariants(samples):
+    stats = summarize(samples)
+    assert stats.minimum <= stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+    assert stats.minimum <= stats.mean <= stats.maximum

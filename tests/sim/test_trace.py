@@ -1,0 +1,61 @@
+"""Unit tests for the trace bus."""
+
+from repro.sim import Simulator
+from repro.sim.trace import TraceBus, TraceCollector
+
+
+def test_exact_subscription_receives_records():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("link.drop", seen.append)
+    bus.emit(1.0, "link.drop", "l0", reason="full")
+    assert len(seen) == 1
+    assert seen[0].detail["reason"] == "full"
+
+
+def test_prefix_subscription_matches_children():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("link", seen.append)
+    bus.emit(1.0, "link.drop", "l0")
+    bus.emit(2.0, "link.fail", "l1")
+    bus.emit(3.0, "host.arp", "h0")
+    assert [r.category for r in seen] == ["link.drop", "link.fail"]
+
+
+def test_wildcard_receives_everything():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("*", seen.append)
+    bus.emit(1.0, "a.b", "x")
+    bus.emit(2.0, "c", "y")
+    assert len(seen) == 2
+
+
+def test_unsubscribed_categories_are_cheap_and_silent():
+    bus = TraceBus()
+    assert not bus.wants("link.drop")
+    bus.emit(1.0, "link.drop", "l0")  # no handler: no error
+    bus.subscribe("link.drop", lambda r: None)
+    assert bus.wants("link.drop")
+    assert bus.wants("link.other")  # same top-level prefix is active
+
+
+def test_unsubscribe_removes_handler():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("x", seen.append)
+    bus.unsubscribe("x", seen.append)
+    bus.emit(1.0, "x", "s")
+    assert seen == []
+    bus.unsubscribe("x", seen.append)  # idempotent
+    bus.unsubscribe("*", seen.append)  # not registered: no error
+
+
+def test_collector_gathers_times():
+    sim = Simulator()
+    collector = TraceCollector(sim.trace, "evt")
+    sim.trace.emit(1.0, "evt", "s")
+    sim.trace.emit(2.0, "evt.sub", "s")
+    assert collector.times() == [1.0, 2.0]
+    assert len(collector) == 2

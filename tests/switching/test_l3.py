@@ -1,0 +1,137 @@
+"""Tests for the link-state L3 baseline: LSDB, SPF/ECMP, router fabric."""
+
+from repro.net import AppData
+from repro.sim import Simulator
+from repro.switching.linkstate import (
+    HelloMessage,
+    LinkStateDatabase,
+    Lsa,
+    shortest_paths,
+)
+from repro.topology.baselines import build_l3_fabric
+
+
+# ----------------------------------------------------------------------
+# Message codecs
+
+
+def test_hello_roundtrip():
+    decoded = HelloMessage.decode(HelloMessage(42).encode())
+    assert decoded.router_id == 42
+
+
+def test_lsa_roundtrip():
+    lsa = Lsa(origin=7, seq=3, neighbors=((1, 1), (2, 4)),
+              prefixes=((0x0A000000, 24), (0x0A000100, 24)))
+    decoded = Lsa.decode(lsa.encode())
+    assert decoded == lsa
+    assert decoded.wire_length() == len(lsa.encode())
+
+
+# ----------------------------------------------------------------------
+# LSDB and SPF
+
+
+def test_lsdb_keeps_freshest():
+    db = LinkStateDatabase()
+    assert db.consider(Lsa(1, 1, (), ()))
+    assert not db.consider(Lsa(1, 1, (), ()))  # same seq: ignored
+    assert db.consider(Lsa(1, 2, ((2, 1),), ()))
+    assert db.get(1).seq == 2
+    assert len(db) == 1
+
+
+def diamond_db():
+    """1 -- {2,3} -- 4 with unit costs (classic ECMP diamond)."""
+    db = LinkStateDatabase()
+    db.consider(Lsa(1, 1, ((2, 1), (3, 1)), ()))
+    db.consider(Lsa(2, 1, ((1, 1), (4, 1)), ()))
+    db.consider(Lsa(3, 1, ((1, 1), (4, 1)), ()))
+    db.consider(Lsa(4, 1, ((2, 1), (3, 1)), ()))
+    return db
+
+
+def test_spf_finds_ecmp_next_hops():
+    hops = shortest_paths(diamond_db(), source=1)
+    assert hops[2] == {2}
+    assert hops[3] == {3}
+    assert hops[4] == {2, 3}  # both paths are shortest
+
+
+def test_spf_requires_two_way_adjacency():
+    db = diamond_db()
+    # Node 5 claims a link to 1, but 1 does not claim it back.
+    db.consider(Lsa(5, 1, ((1, 1),), ()))
+    hops = shortest_paths(db, source=1)
+    assert 5 not in hops
+
+
+def test_spf_unreachable_nodes_absent():
+    db = diamond_db()
+    db.consider(Lsa(9, 1, ((8, 1),), ()))
+    db.consider(Lsa(8, 1, ((9, 1),), ()))
+    hops = shortest_paths(db, source=1)
+    assert 9 not in hops and 8 not in hops
+
+
+# ----------------------------------------------------------------------
+# Full L3 fabric
+
+
+def test_l3_fabric_converges_and_delivers():
+    sim = Simulator(seed=9)
+    fabric = build_l3_fabric(sim, k=4)
+    fabric.start()
+    fabric.run_until_converged()
+    hosts = fabric.host_list()
+    inbox = hosts[-1].udp_socket(5000)
+    hosts[0].udp_socket().sendto(hosts[-1].ip, 5000, AppData(32))
+    sim.run(until=sim.now + 1.0)
+    assert len(inbox.inbox) == 1
+
+
+def test_l3_state_is_per_subnet_not_per_host():
+    sim = Simulator(seed=9)
+    fabric = build_l3_fabric(sim, k=4)
+    fabric.start()
+    fabric.run_until_converged()
+    edge = fabric.routers["edge-p0-s0"]
+    # 8 subnets total in a k=4 tree: 7 remote prefixes + 1 local + margin.
+    assert edge.route_table_size() <= 10
+    assert fabric.total_config_lines() == 16  # 8 edges x 2 host ports
+
+
+def test_l3_reroutes_after_failure_with_carrier():
+    sim = Simulator(seed=9)
+    fabric = build_l3_fabric(sim, k=4)
+    fabric.start()
+    fabric.run_until_converged()
+    hosts = fabric.host_list()
+    inbox = hosts[-1].udp_socket(5000)
+    sender = hosts[0].udp_socket()
+    sender.sendto(hosts[-1].ip, 5000, AppData(32))
+    sim.run(until=sim.now + 1.0)
+    assert len(inbox.inbox) == 1
+    # Fail one of the two agg-core links used by pod 0.
+    fabric.link_between("agg-p0-s0", "core-0").fail()
+    sim.run(until=sim.now + 1.0)  # carrier + LSA flood + SPF
+    for _ in range(5):
+        sender.sendto(hosts[-1].ip, 5000, AppData(32))
+    sim.run(until=sim.now + 1.0)
+    assert len(inbox.inbox) == 6
+
+
+def test_l3_detects_silent_failure_via_hello_timeout():
+    sim = Simulator(seed=9)
+    from repro.topology.builder import LinkParams
+
+    fabric = build_l3_fabric(sim, k=4,
+                             link_params=LinkParams(carrier_detect=False),
+                             hello_s=0.2, dead_s=0.6)
+    fabric.start()
+    fabric.run_until_converged()
+    router = fabric.routers["agg-p0-s0"]
+    neighbors_before = len(router._neighbors)
+    fabric.link_between("agg-p0-s0", "core-0").fail()
+    sim.run(until=sim.now + 2.0)
+    assert len(router._neighbors) == neighbors_before - 1

@@ -1,0 +1,138 @@
+"""Tests for the flat-L2 baseline: MAC learning, flooding, spanning tree."""
+
+import pytest
+
+from repro.host import Host
+from repro.net import AppData, EthernetFrame, Link, ip, mac
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.sim import Simulator
+from repro.switching.learning import LearningSwitch
+from repro.switching.stp import Bpdu, BridgeId, PortState
+from repro.topology.baselines import build_l2_fabric
+
+
+def hosts_on_switch(sim, switch, count):
+    hosts = []
+    for i in range(count):
+        host = Host(sim, f"h{i}", mac(f"00:00:00:00:00:{i + 1:02x}"),
+                    ip(f"10.0.0.{i + 1}"))
+        Link(sim, host.nic, switch.port(i), carrier_detect=False)
+        hosts.append(host)
+    return hosts
+
+
+def test_flood_unknown_then_learn():
+    sim = Simulator()
+    switch = LearningSwitch(sim, "sw", 4)
+    h = hosts_on_switch(sim, switch, 3)
+    sock2 = h[1].udp_socket(5000)
+    sock3 = h[2].udp_socket(5000)
+    h[0].udp_socket().sendto(h[1].ip, 5000, AppData(10))
+    sim.run(until=0.1)
+    assert len(sock2.inbox) == 1
+    assert sock3.inbox == []  # unicast reply was learned, not flooded
+    assert switch.mac_table_size() == 2
+    assert switch.flooded_frames >= 1  # the initial ARP broadcast
+
+
+def test_mac_entries_age_out():
+    sim = Simulator()
+    switch = LearningSwitch(sim, "sw", 4, mac_aging_s=1.0)
+    h = hosts_on_switch(sim, switch, 2)
+    h[0].gratuitous_arp()
+    sim.run(until=0.1)
+    assert switch.mac_table_size() == 1
+    sim.run(until=2.0)
+    assert switch.mac_table_size() == 0
+
+
+def test_port_down_flushes_entries():
+    sim = Simulator()
+    switch = LearningSwitch(sim, "sw", 4)
+    h = hosts_on_switch(sim, switch, 2)
+    h[0].gratuitous_arp()
+    sim.run(until=0.1)
+    assert switch.mac_table_size() == 1
+    switch.on_port_down(switch.port(0))
+    assert switch.mac_table_size() == 0
+
+
+def test_bpdu_codec_roundtrip():
+    bpdu = Bpdu(BridgeId(32768, 0xAABBCCDDEEFF), 8,
+                BridgeId(4096, 0x112233445566), 3)
+    decoded = Bpdu.decode(bpdu.encode())
+    assert decoded == bpdu
+    assert decoded.priority_vector() == bpdu.priority_vector()
+
+
+def test_bridge_id_ordering():
+    assert BridgeId(100, 5) < BridgeId(200, 1)
+    assert BridgeId(100, 1) < BridgeId(100, 5)
+
+
+def test_stp_elects_single_root_and_blocks_loops():
+    sim = Simulator(seed=7)
+    fabric = build_l2_fabric(sim, k=4)
+    fabric.run_until_stp_converged()
+    roots = {s.stp.root_id for s in fabric.switches.values()}
+    assert len(roots) == 1
+    root_bridges = [s for s in fabric.switches.values() if s.stp.is_root]
+    assert len(root_bridges) == 1
+    # A fat tree has loops, so some ports must be blocking.
+    blocking = sum(
+        1 for s in fabric.switches.values() for p in s.ports
+        if p.link is not None and s.stp.port_state(p.index) is PortState.BLOCKING
+    )
+    assert blocking > 0
+    # The forwarding subgraph is a spanning tree: edges = nodes - 1.
+    forwarding_links = set()
+    for name, s in fabric.switches.items():
+        for p in s.ports:
+            if p.link is None or p.peer is None:
+                continue
+            peer_node = p.peer.node
+            if not isinstance(peer_node, LearningSwitch):
+                continue
+            if (s.stp.can_forward(p.index)
+                    and peer_node.stp.can_forward(p.peer.index)):
+                forwarding_links.add(frozenset((name, peer_node.name)))
+    assert len(forwarding_links) == len(fabric.switches) - 1
+
+
+def test_stp_fabric_delivers_end_to_end():
+    sim = Simulator(seed=7)
+    fabric = build_l2_fabric(sim, k=4)
+    fabric.run_until_stp_converged()
+    hosts = fabric.host_list()
+    inbox = hosts[-1].udp_socket(5000)
+    hosts[0].udp_socket().sendto(hosts[-1].ip, 5000, AppData(20))
+    sim.run(until=sim.now + 2.0)
+    assert len(inbox.inbox) == 1
+
+
+@pytest.mark.slow
+def test_stp_reconverges_after_root_path_failure():
+    sim = Simulator(seed=7)
+    fabric = build_l2_fabric(sim, k=4)
+    fabric.run_until_stp_converged()
+    hosts = fabric.host_list()
+    inbox = hosts[-1].udp_socket(5000)
+    sender = hosts[0].udp_socket()
+    sender.sendto(hosts[-1].ip, 5000, AppData(20))
+    sim.run(until=sim.now + 1.0)
+    assert len(inbox.inbox) == 1
+
+    # Fail a link on the current forwarding path: pick the edge uplink in
+    # use at the destination edge switch.
+    dst_edge_name = fabric.tree.hosts[-1].edge_switch
+    dst_edge = fabric.switches[dst_edge_name]
+    up_ports = [p for p in dst_edge.ports
+                if p.link is not None and p.index >= fabric.tree.k // 2]
+    active = [p for p in up_ports if dst_edge.stp.can_forward(p.index)]
+    assert active
+    active[0].link.fail()
+    # STP needs max_age + 2*forward_delay in the worst case.
+    fabric.run_until_stp_converged(timeout_s=120.0)
+    sender.sendto(hosts[-1].ip, 5000, AppData(20))
+    sim.run(until=sim.now + 2.0)
+    assert len(inbox.inbox) == 2

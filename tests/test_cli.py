@@ -1,0 +1,36 @@
+"""CLI smoke tests (the commands are thin wrappers over tested code)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_runs(capsys):
+    assert main(["info", "--k", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "hosts" in out and "16" in out
+
+
+def test_bringup_runs(capsys):
+    assert main(["bringup", "--k", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "LDP location discovery complete" in out
+    assert "8 edge" in out
+
+
+def test_convergence_runs(capsys):
+    assert main(["--seed", "3", "convergence", "--failures", "1",
+                 "--rate", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "worst-flow convergence" in out
+
+
+def test_arp_load_runs(capsys):
+    assert main(["arp-load", "--rate", "10", "--duration", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "FM utilization" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,57 @@
+"""Failure-path tests for the fabric builder helpers."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.sim import Simulator
+from repro.topology import build_fat_tree, build_portland_fabric
+from repro.topology.fattree import FatTree, HostSpec, WireSpec, host_ip, host_mac
+
+
+def test_link_between_unknown_pair_raises(fabric):
+    with pytest.raises(TopologyError):
+        fabric.link_between("edge-p0-s0", "core-3")  # not physically wired
+    with pytest.raises(TopologyError):
+        fabric.link_between("nope", "also-nope")
+
+
+def test_edge_agent_of_resolves_host(fabric):
+    spec = fabric.tree.hosts[0]
+    agent = fabric.edge_agent_of(spec.name)
+    assert agent.switch.name == spec.edge_switch
+
+
+def test_run_until_located_times_out_on_broken_topology():
+    """A lone edge with hosts but no uplinks can never classify itself
+    (it hears no LDMs at all) — discovery must fail loudly, not hang."""
+    tree = FatTree(k=2)
+    tree.edge_names.append("edge-p0-s0")
+    tree.hosts.append(HostSpec(
+        name="host-p0-e0-0", pod=0, edge=0, index=0,
+        mac=host_mac(0, 0, 0), ip=host_ip(0, 0, 0),
+        edge_switch="edge-p0-s0", edge_port=0))
+    tree.host_wires.append(WireSpec("host-p0-e0-0", 0, "edge-p0-s0", 0))
+
+    sim = Simulator(seed=1)
+    fabric = build_portland_fabric(sim, tree=tree)
+    fabric.start()
+    with pytest.raises(TopologyError) as excinfo:
+        fabric.run_until_located(timeout_s=0.5)
+    assert "edge-p0-s0" in str(excinfo.value)
+
+
+def test_run_until_registered_times_out_without_announcements():
+    sim = Simulator(seed=2)
+    fabric = build_portland_fabric(sim, k=4)
+    fabric.start()
+    fabric.run_until_located()
+    # No announce_hosts(): silent hosts never register.
+    with pytest.raises(TopologyError):
+        fabric.run_until_registered(timeout_s=0.3)
+
+
+def test_hosts_in_pod_helper():
+    tree = build_fat_tree(4)
+    pod0 = tree.hosts_in_pod(0)
+    assert len(pod0) == 4
+    assert all(h.pod == 0 for h in pod0)

@@ -1,0 +1,71 @@
+"""Tests for the all-to-all shuffle workload."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.topology import build_portland_fabric
+from repro.workloads.shuffle import ShuffleWorkload
+
+
+@pytest.fixture(scope="module")
+def shuffle_run():
+    """One completed 4-host shuffle, shared by the assertions below."""
+    sim = Simulator(seed=5)
+    fabric = build_portland_fabric(sim, k=4)
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    hosts = fabric.host_list()[:4]  # keep it light: 12 flows
+    shuffle = ShuffleWorkload(sim, hosts, bytes_per_flow=20_000)
+    start = sim.now
+    shuffle.start()
+    end = shuffle.run_until_done(timeout_s=30.0)
+    return shuffle, start, end
+
+
+def test_all_flows_complete(shuffle_run):
+    shuffle, _start, _end = shuffle_run
+    assert shuffle.num_flows == 12
+    assert shuffle.completed() == 12
+    assert shuffle.all_done()
+
+
+def test_every_pair_covered_once(shuffle_run):
+    shuffle, _s, _e = shuffle_run
+    pairs = {(r.src, r.dst) for r in shuffle.results}
+    assert len(pairs) == 12
+    assert all(src != dst for src, dst in pairs)
+
+
+def test_bytes_and_fct_sane(shuffle_run):
+    shuffle, start, end = shuffle_run
+    assert shuffle.total_bytes_moved() == 12 * 20_000
+    stats = shuffle.fct_stats()
+    assert 0 < stats.minimum <= stats.p50 <= stats.p99 <= stats.maximum
+    assert stats.maximum < (end - start) + 1e-9
+    assert stats.p50 < 0.2  # 20 KB at ~Gb/s is milliseconds
+    assert shuffle.aggregate_goodput_bps(end - start) > 0
+
+
+def test_double_start_rejected(shuffle_run):
+    shuffle, _s, _e = shuffle_run
+    with pytest.raises(RuntimeError):
+        shuffle.start()
+
+
+def test_timeout_raises():
+    sim = Simulator(seed=6)
+    fabric = build_portland_fabric(sim, k=4)
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    hosts = fabric.host_list()[:3]
+    # Cut a host off so its flows can never complete.
+    spec = fabric.tree.hosts[0]
+    fabric.link_between(spec.name, spec.edge_switch).fail()
+    shuffle = ShuffleWorkload(sim, hosts, bytes_per_flow=10_000)
+    shuffle.start()
+    with pytest.raises(TimeoutError):
+        shuffle.run_until_done(timeout_s=2.0)

@@ -1,0 +1,47 @@
+"""Unit tests for link-utilization accounting (synthetic data)."""
+
+import pytest
+
+from repro.metrics.utilization import LinkUsage, by_layer, imbalance
+
+
+def usage(a, b, nbytes):
+    return LinkUsage(name=f"{a}<->{b}", a=a, b=b, bytes_total=nbytes,
+                     frames_total=nbytes // 100)
+
+
+def test_by_layer_aggregates_symmetrically():
+    usages = [
+        usage("host-p0-e0-0", "edge-p0-s0", 100),
+        usage("edge-p0-s0", "agg-p0-s0", 60),
+        usage("agg-p0-s0", "edge-p0-s1", 40),  # reversed order, same layer
+        usage("agg-p0-s0", "core-0", 30),
+    ]
+    layers = by_layer(usages)
+    assert layers["edge-host"] == 100
+    assert layers["agg-edge"] == 100
+    assert layers["agg-core"] == 30
+
+
+def test_imbalance_perfectly_balanced_is_one():
+    usages = [usage("agg-p0-s0", "core-0", 50),
+              usage("agg-p0-s1", "core-1", 50)]
+    assert imbalance(usages, "agg-core") == pytest.approx(1.0)
+
+
+def test_imbalance_detects_hotspot():
+    usages = [usage("agg-p0-s0", "core-0", 90),
+              usage("agg-p0-s1", "core-1", 10)]
+    assert imbalance(usages, "agg-core") == pytest.approx(1.8)
+
+
+def test_imbalance_empty_layer_is_neutral():
+    assert imbalance([], "agg-core") == 1.0
+    assert imbalance([usage("a-x", "b-y", 0)], "a-b") == 1.0
+
+
+def test_utilization_fraction():
+    u = usage("host-p0-e0-0", "edge-p0-s0", 125_000)  # 1 Mbit total
+    # 1 Mbit over 1 s on a 1 Mb/s link = 50% of the 2x duplex capacity.
+    assert u.utilization(1.0, 1e6) == pytest.approx(0.5)
+    assert u.utilization(0.0, 1e6) == 0.0

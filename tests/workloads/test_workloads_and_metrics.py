@@ -1,0 +1,177 @@
+"""Unit tests for workload generators and measurement helpers."""
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.host.apps.udp_stream import UdpStreamReceiver
+from repro.metrics.convergence import (
+    convergence_time,
+    mean_affected_outage,
+    measure_outages,
+)
+from repro.metrics.tables import format_series, format_table
+from repro.sim import Simulator
+from repro.topology.fattree import build_fat_tree
+from repro.workloads.failures import (
+    pick_failures,
+    switch_link_names,
+    valley_free_connected,
+)
+from repro.workloads.traffic import random_permutation_pairs, stride_pairs
+
+
+class FakeHost:
+    def __init__(self, name):
+        self.name = name
+
+
+def test_random_permutation_is_a_derangement():
+    rng = random.Random(1)
+    hosts = [FakeHost(f"h{i}") for i in range(10)]
+    pairs = random_permutation_pairs(hosts, rng)
+    assert len(pairs) == 10
+    assert all(src is not dst for src, dst in pairs)
+    receivers = [dst for _src, dst in pairs]
+    assert len(set(id(r) for r in receivers)) == 10  # a permutation
+
+
+def test_permutation_of_tiny_lists():
+    rng = random.Random(1)
+    assert random_permutation_pairs([], rng) == []
+    assert random_permutation_pairs([FakeHost("x")], rng) == []
+    a, b = FakeHost("a"), FakeHost("b")
+    assert random_permutation_pairs([a, b], rng) == [(a, b), (b, a)]
+
+
+def test_stride_pairs():
+    hosts = [FakeHost(f"h{i}") for i in range(4)]
+    pairs = stride_pairs(hosts, 2)
+    assert pairs[0] == (hosts[0], hosts[2])
+    assert pairs[3] == (hosts[3], hosts[1])
+    assert stride_pairs([FakeHost("x")], 1) == []
+
+
+def test_switch_link_names_by_kind():
+    tree = build_fat_tree(4)
+    edge_agg = switch_link_names(tree, ("edge-agg",))
+    agg_core = switch_link_names(tree, ("agg-core",))
+    assert len(edge_agg) == 16
+    assert len(agg_core) == 16
+    both = switch_link_names(tree)
+    assert len(both) == 32
+
+
+def test_valley_free_detects_unroutable_combination():
+    tree = build_fat_tree(4)
+    # Destination edge keeps only group-0 connectivity, source keeps only
+    # group-1: connected as a graph, unroutable up*-down*.
+    failed = {
+        frozenset(("edge-p3-s0", "agg-p3-s1")),
+        frozenset(("edge-p0-s0", "agg-p0-s0")),
+    }
+    assert not valley_free_connected(tree, failed)
+    assert valley_free_connected(tree, set())
+
+
+def test_pick_failures_respects_reachability():
+    tree = build_fat_tree(4)
+    rng = random.Random(7)
+    for count in (1, 4, 8):
+        links = pick_failures(tree, count, rng, keep_connected=True)
+        assert len(links) == count
+        assert valley_free_connected(tree, {frozenset(l) for l in links})
+
+
+def test_pick_failures_rejects_impossible_counts():
+    tree = build_fat_tree(4)
+    with pytest.raises(TopologyError):
+        pick_failures(tree, 999, random.Random(1))
+
+
+def make_receiver_with_arrivals(times):
+    sim = Simulator()
+    from repro.host import Host
+    from repro.net import ip, mac
+
+    host = Host(sim, "h", mac("00:00:00:00:00:01"), ip("10.0.0.1"))
+    rx = UdpStreamReceiver(host, 5000)
+    for i, t in enumerate(times):
+        rx.arrivals.append((t, i, 0.0))
+    return rx
+
+
+def test_measure_outages_finds_gap():
+    times = [i * 0.001 for i in range(100)] + \
+            [0.2 + i * 0.001 for i in range(100)]
+    rx = make_receiver_with_arrivals(times)
+    outages = measure_outages([rx], 0.0, 0.3, nominal_interval_s=0.001)
+    assert outages[0].affected
+    assert outages[0].gap_s == pytest.approx(0.101, abs=1e-6)
+    assert convergence_time(outages, 0.001) == pytest.approx(0.1, abs=1e-6)
+
+
+def test_unaffected_flow_reports_none():
+    times = [i * 0.001 for i in range(300)]
+    rx = make_receiver_with_arrivals(times)
+    outages = measure_outages([rx], 0.0, 0.3, nominal_interval_s=0.001)
+    assert not outages[0].affected
+    assert convergence_time(outages, 0.001) is None
+    assert mean_affected_outage(outages, 0.001) is None
+
+
+def test_mean_affected_outage_averages():
+    tail = [0.25 + i * 0.001 for i in range(50)]
+    rx1 = make_receiver_with_arrivals(
+        [0.0, 0.001, 0.101, 0.102] + tail)  # 148 ms then 100 ms gap
+    rx2 = make_receiver_with_arrivals(
+        [0.0, 0.001, 0.201, 0.202] + tail)  # 200 ms gap dominates
+    outages = measure_outages([rx1, rx2], 0.0, 0.3, 0.001)
+    mean = mean_affected_outage(outages, 0.001)
+    # rx1 worst gap 0.148, rx2 worst gap 0.200 -> mean minus interval.
+    assert mean == pytest.approx((0.147 + 0.199) / 2, abs=0.001)
+
+
+def test_format_table_alignment_and_types():
+    text = format_table(["name", "value"],
+                        [["alpha", 1.5], ["b", 123456.0], ["c", 0.0001]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "alpha" in lines[3]
+    assert "1.23e+05" in text
+    assert "0.0001" in text
+
+
+def test_format_series():
+    text = format_series("s", [(1.0, 2.0), (3.0, 4.5)], "x", "y")
+    assert "x" in text and "4.5" in text
+
+
+def test_format_ascii_plot_shape():
+    from repro.metrics.tables import format_ascii_plot
+
+    points = [(i * 0.1, float(i % 5)) for i in range(30)]
+    text = format_ascii_plot(points, height=5, y_label="rate")
+    lines = text.splitlines()
+    assert lines[0].strip() == "rate"
+    assert len(lines) == 5 + 3  # label + rows + axis + footer
+    assert "#" in text
+    assert format_ascii_plot([]) == "(empty series)"
+    # All-zero series must not divide by zero.
+    flat = format_ascii_plot([(0.0, 0.0), (1.0, 0.0)], height=3)
+    assert "#" not in flat
+
+
+def test_mean_confidence_interval():
+    from repro.metrics.convergence import mean_confidence_interval
+
+    mean, half = mean_confidence_interval([1.0, 1.0, 1.0])
+    assert mean == 1.0 and half == pytest.approx(0.0)
+    mean, half = mean_confidence_interval([1.0])
+    assert (mean, half) == (1.0, 0.0)
+    mean, half = mean_confidence_interval([1.0, 3.0])
+    assert mean == 2.0 and half > 0
+    with pytest.raises(ValueError):
+        mean_confidence_interval([])
