@@ -1,6 +1,6 @@
 # Convenience targets for the PortLand reproduction.
 
-.PHONY: install test bench examples lint-clean all
+.PHONY: install test bench examples lint-clean verify all
 
 install:
 	pip install -e .
@@ -13,6 +13,10 @@ test-fast:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fixed-seed invariant fault campaign (see docs/VERIFY.md).
+verify:
+	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

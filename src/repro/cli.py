@@ -6,6 +6,7 @@ Installed as the ``portland-sim`` console script::
     portland-sim bringup --k 4           # LDP discovery timeline
     portland-sim convergence --failures 4
     portland-sim arp-load --rate 50
+    portland-sim verify --scenarios 25   # invariant fault campaign
 """
 
 from __future__ import annotations
@@ -131,6 +132,27 @@ def cmd_arp_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        scenarios=args.scenarios, seed=args.seed,
+        ks=tuple(args.k), steps=args.steps)
+    report = run_campaign(config, log=print if not args.quiet else None)
+    print(format_table(
+        ["seed", "k", "steps", "hops", "violations", "verdict"],
+        report.summary_rows(),
+        title=f"invariant campaign ({config.scenarios} scenarios)",
+    ))
+    if report.ok:
+        print("all invariants held")
+        return 0
+    print(f"{report.violation_count} violation(s); minimal reproducers:")
+    for reproducer in report.reproducers:
+        print(f"  {reproducer}")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="portland-sim",
@@ -159,6 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-host ARP misses per second")
     p.add_argument("--duration", type=float, default=1.0)
     p.set_defaults(fn=cmd_arp_load)
+
+    p = sub.add_parser(
+        "verify", help="property-based fault campaign over fabric invariants")
+    p.add_argument("--scenarios", type=int, default=25)
+    p.add_argument("--k", type=int, nargs="+", default=[4],
+                   help="fat-tree degrees to draw scenarios from")
+    p.add_argument("--steps", type=int, default=4,
+                   help="random fault/migration steps per scenario")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-scenario progress lines")
+    p.set_defaults(fn=cmd_verify)
     return parser
 
 

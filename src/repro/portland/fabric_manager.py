@@ -294,9 +294,19 @@ class FabricManager(Node):
     def _on_neighbor_report(self, report: NeighborReport) -> None:
         record = self.switches.setdefault(report.switch_id,
                                           SwitchRecord(report.switch_id))
-        record.update_from_report(report.level, report.pod, report.position,
-                                  report.neighbors)
+        changed = record.update_from_report(report.level, report.pod,
+                                            report.position, report.neighbors)
         self._note_pod_in_use(report.pod)
+        if changed:
+            # The physical view shifted under the overrides: LDP prunes
+            # long-dead links from reports and re-adds them after
+            # recovery, and positions can be re-arbitrated. A recompute
+            # keyed only to fault-matrix events would leave overrides
+            # derived from the stale wiring installed forever (e.g. an
+            # ECMP branch still forbidden after its path came back).
+            view = self.view()
+            self._push_override_changes(view)
+            self.multicast.on_topology_change(view)
 
     # ------------------------------------------------------------------
     # Fault handling

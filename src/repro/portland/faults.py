@@ -138,3 +138,28 @@ def diff_overrides(old: Overrides, new: Overrides):
             if prefix not in new_map:
                 clears.append((switch_id, prefix))
     return updates, clears
+
+
+def apply_diff(base: Overrides, updates, clears) -> Overrides:
+    """Apply a :func:`diff_overrides` result to ``base``.
+
+    Returns a new override map; ``base`` is not mutated. By construction
+    ``apply_diff(old, *diff_overrides(old, new)) == new`` — the round-trip
+    property tests rely on this to prove that the incremental
+    FaultUpdate/FaultClear stream a fabric receives always lands it in
+    the same state a from-scratch recomputation would.
+    """
+    result: Overrides = {
+        switch_id: {prefix: set(avoid) for prefix, avoid in prefix_map.items()}
+        for switch_id, prefix_map in base.items()
+    }
+    for switch_id, prefix, avoid in updates:
+        result.setdefault(switch_id, {})[prefix] = set(avoid)
+    for switch_id, prefix in clears:
+        prefix_map = result.get(switch_id)
+        if prefix_map is None:
+            continue
+        prefix_map.pop(prefix, None)
+        if not prefix_map:
+            del result[switch_id]
+    return result

@@ -47,6 +47,29 @@ REWRITE_PRIO_NEW_HOST = 100
 MULTICAST_BIT_MATCH = Match(eth_dst=MacAddress(1 << 40), eth_dst_mask=1 << 40)
 
 
+def entry_direction(name: str) -> str:
+    """Classify a forwarding-entry name by which way it moves a frame.
+
+    Returns one of ``"up"`` (default ECMP route or fault-constrained up
+    route), ``"down"`` (descending toward a more specific prefix),
+    ``"deliver"`` (host egress), ``"drop"`` (loop-guard drop entries),
+    or ``"control"`` (punts, multicast, traps — frames that leave the
+    unicast up*-down* pipeline). The invariant oracle uses this to
+    observe the paper's loop-freedom argument at runtime: a frame that
+    has matched a *down* entry anywhere must never match an *up* entry
+    afterwards.
+    """
+    if name == "default-up" or name.startswith("fault:"):
+        return "up"
+    if name.startswith(("down:", "pod:")):
+        return "down"
+    if name.startswith("host:"):
+        return "deliver"
+    if name in ("own-prefix-drop", "own-pod-drop"):
+        return "drop"
+    return "control"
+
+
 def arp_intercept() -> tuple[Match, tuple, int, str]:
     """Edge: punt every ARP frame to the agent (proxy ARP)."""
     return (Match(ethertype=ETHERTYPE_ARP), (ToAgent("arp"),), PRIO_ARP, "arp")

@@ -77,8 +77,20 @@ class PortlandSwitch(FlowSwitch):
         entry = self.table.lookup(current, in_port.index)
         if entry is None:
             self.miss_drops += 1
+            if self.sim.trace.wants("verify.miss"):
+                self.sim.trace.emit(self.sim.now, "verify.miss", self.name,
+                                    payload=current.payload,
+                                    dst=current.dst.value,
+                                    ethertype=current.ethertype,
+                                    in_port=in_port.index)
             return
         entry.touch(current)
+        if self.sim.trace.wants("verify.hop"):
+            self.sim.trace.emit(self.sim.now, "verify.hop", self.name,
+                                payload=current.payload,
+                                dst=current.dst.value,
+                                ethertype=current.ethertype,
+                                entry=entry.name, in_port=in_port.index)
         self.apply_actions(current, in_port, entry.actions)
 
     def _apply_rewrites(self, frame: EthernetFrame, actions) -> EthernetFrame:
@@ -102,8 +114,19 @@ class PortlandSwitch(FlowSwitch):
         entry = self.table.lookup(frame, from_port_index, skip_punts=True)
         if entry is None:
             self.miss_drops += 1
+            if self.sim.trace.wants("verify.miss"):
+                self.sim.trace.emit(self.sim.now, "verify.miss", self.name,
+                                    payload=frame.payload,
+                                    dst=frame.dst.value,
+                                    ethertype=frame.ethertype,
+                                    in_port=from_port_index, injected=True)
             return
         entry.touch(frame)
+        if self.sim.trace.wants("verify.hop"):
+            self.sim.trace.emit(self.sim.now, "verify.hop", self.name,
+                                payload=frame.payload, dst=frame.dst.value,
+                                ethertype=frame.ethertype, entry=entry.name,
+                                in_port=from_port_index, injected=True)
         # A fake ingress that can never equal a real port index, so
         # OutputMany/flood exclusion works naturally.
         self.apply_actions(frame, _VirtualIngress(from_port_index), entry.actions)

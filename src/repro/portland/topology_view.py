@@ -25,12 +25,15 @@ class SwitchRecord:
     neighbors: dict[int, tuple[int, SwitchLevel]] = field(default_factory=dict)
 
     def update_from_report(self, level: SwitchLevel, pod: int, position: int,
-                           neighbors) -> None:
-        """Apply a NeighborReport."""
-        self.level = level
-        self.pod = None if pod == NO_POD else pod
-        self.position = None if position == NO_POSITION else position
-        self.neighbors = {port: (nbr, lvl) for port, nbr, lvl in neighbors}
+                           neighbors) -> bool:
+        """Apply a NeighborReport; True if anything actually changed."""
+        new = (level,
+               None if pod == NO_POD else pod,
+               None if position == NO_POSITION else position,
+               {port: (nbr, lvl) for port, nbr, lvl in neighbors})
+        changed = new != (self.level, self.pod, self.position, self.neighbors)
+        self.level, self.pod, self.position, self.neighbors = new
+        return changed
 
 
 class FabricView:

@@ -43,7 +43,10 @@ class TraceBus:
     def __init__(self) -> None:
         self._handlers: dict[str, list[TraceHandler]] = {}
         self._any_handlers: list[TraceHandler] = []
-        self._active_prefixes: set[str] = set()
+        # Top-level prefix -> number of live handlers under it. Reference
+        # counted so that unsubscribing the last handler really turns the
+        # prefix off again (and emit goes back to its one-lookup fast path).
+        self._prefix_counts: dict[str, int] = {}
 
     def subscribe(self, category: str, handler: TraceHandler) -> None:
         """Register ``handler`` for ``category`` (or ``"*"`` for all)."""
@@ -51,7 +54,8 @@ class TraceBus:
             self._any_handlers.append(handler)
             return
         self._handlers.setdefault(category, []).append(handler)
-        self._active_prefixes.add(category.split(".", 1)[0])
+        prefix = category.split(".", 1)[0]
+        self._prefix_counts[prefix] = self._prefix_counts.get(prefix, 0) + 1
 
     def unsubscribe(self, category: str, handler: TraceHandler) -> None:
         """Remove a previously registered handler. Missing ones are ignored."""
@@ -60,8 +64,17 @@ class TraceBus:
                 self._any_handlers.remove(handler)
             return
         handlers = self._handlers.get(category, [])
-        if handler in handlers:
-            handlers.remove(handler)
+        if handler not in handlers:
+            return
+        handlers.remove(handler)
+        if not handlers:
+            del self._handlers[category]
+        prefix = category.split(".", 1)[0]
+        remaining = self._prefix_counts.get(prefix, 0) - 1
+        if remaining > 0:
+            self._prefix_counts[prefix] = remaining
+        else:
+            self._prefix_counts.pop(prefix, None)
 
     def wants(self, category: str) -> bool:
         """Whether emitting ``category`` would reach any handler.
@@ -71,7 +84,7 @@ class TraceBus:
         """
         if self._any_handlers:
             return True
-        return category.split(".", 1)[0] in self._active_prefixes
+        return category.split(".", 1)[0] in self._prefix_counts
 
     def emit(
         self,
@@ -81,7 +94,7 @@ class TraceBus:
         **detail: Any,
     ) -> None:
         """Publish a record to all handlers matching ``category``."""
-        if not self._any_handlers and category.split(".", 1)[0] not in self._active_prefixes:
+        if not self._any_handlers and category.split(".", 1)[0] not in self._prefix_counts:
             return
         record = TraceRecord(time=time, category=category, source=source, detail=detail)
         for handler in self._any_handlers:
@@ -102,7 +115,16 @@ class TraceCollector:
 
     def __init__(self, bus: TraceBus, category: str) -> None:
         self.records: list[TraceRecord] = []
-        bus.subscribe(category, self.records.append)
+        self._bus = bus
+        self._category = category
+        self._handler: TraceHandler | None = self.records.append
+        bus.subscribe(category, self._handler)
+
+    def close(self) -> None:
+        """Detach from the bus (keeps the collected records). Idempotent."""
+        if self._handler is not None:
+            self._bus.unsubscribe(self._category, self._handler)
+            self._handler = None
 
     def __len__(self) -> int:
         return len(self.records)

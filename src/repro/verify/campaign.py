@@ -1,0 +1,362 @@
+"""Seeded property-based fault campaigns with failing-case shrinking.
+
+A *campaign* runs N independent *scenarios*. Each scenario builds a
+fresh fabric (its k drawn from a configurable set), converges it,
+attaches the runtime :class:`~repro.verify.oracle.InvariantOracle`,
+starts a handful of probe flows, and then performs a random sequence of
+steps — multi-link failures, whole-switch failures, recoveries, VM
+migrations — running the full static invariant suite after each step
+settles. Everything derives from the scenario seed, so a reported
+failure is replayed bit-for-bit by rerunning with that seed.
+
+When a scenario fails on a set of concurrently failed links, the
+campaign *shrinks* it: links are removed one at a time and the static
+checks re-run on a fresh fabric, until no single link can be dropped
+without the violation disappearing. The result — seed, k, and a minimal
+link list — is the reproducer printed in the report (see
+``docs/VERIFY.md`` for how to replay one).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.host.apps import UdpStreamReceiver, UdpStreamSender
+from repro.portland.migration import VmMigration
+from repro.sim.simulator import Simulator
+from repro.topology.builder import build_portland_fabric
+from repro.topology.fattree import build_fat_tree
+from repro.verify.invariants import Violation
+from repro.verify.oracle import InvariantOracle
+from repro.workloads.failures import switch_link_names
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for one campaign run."""
+
+    scenarios: int = 25
+    seed: int = 7
+    #: Fat-tree degrees to draw from, one per scenario.
+    ks: tuple[int, ...] = (4,)
+    #: Random steps per scenario.
+    steps: int = 4
+    #: Hosts wired per edge switch (fewer than k/2 leaves migration targets).
+    hosts_per_edge: int = 1
+    #: Settling time after fail/recover steps before invariants are checked.
+    settle_s: float = 0.4
+    #: Settling time after a migration step (downtime + adoption grace).
+    migrate_settle_s: float = 1.2
+    #: Probe flows kept running so the runtime oracle sees real traffic.
+    probe_pairs: int = 4
+    probe_rate_pps: float = 200.0
+    #: Max links taken down by a single multi-link failure step.
+    max_links_per_failure: int = 3
+    #: Allow VM-migration steps.
+    migrate: bool = True
+    #: Stop a scenario at its first violating step.
+    stop_on_violation: bool = True
+    #: How many failing scenarios to shrink (shrinking rebuilds fabrics).
+    max_shrinks: int = 3
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario."""
+
+    seed: int
+    k: int
+    steps: list[str] = field(default_factory=list)
+    #: Switch-switch links failed at the moment of the (first) violation.
+    failed_links: list[tuple[str, str]] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+    hops: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class Reproducer:
+    """A minimal, replayable witness for a failing scenario."""
+
+    scenario_seed: int
+    k: int
+    links: list[tuple[str, str]]
+    kinds: tuple[str, ...]
+    #: True when the shrunk link set alone reproduces the violation on a
+    #: fresh fabric; False means it was not statically minimised (the
+    #: failure is sequence-dependent, or the shrink budget ran out) and
+    #: must be replayed from the scenario seed.
+    static: bool = True
+
+    def __str__(self) -> str:
+        if self.static:
+            how = " + ".join(f"{a}<->{b}" for a, b in self.links) or "(no links)"
+            return (f"seed={self.scenario_seed} k={self.k} "
+                    f"fail[{how}] -> {'/'.join(self.kinds)}")
+        return (f"seed={self.scenario_seed} k={self.k} not statically "
+                f"minimised (replay the scenario seed) -> "
+                f"{'/'.join(self.kinds)}")
+
+
+@dataclass
+class CampaignReport:
+    """Everything a campaign run produced."""
+
+    config: CampaignConfig
+    results: list[ScenarioResult] = field(default_factory=list)
+    reproducers: list[Reproducer] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def violation_count(self) -> int:
+        return sum(len(result.violations) for result in self.results)
+
+    def summary_rows(self) -> list[list]:
+        rows = []
+        for result in self.results:
+            rows.append([
+                result.seed, result.k, len(result.steps),
+                result.hops, len(result.violations),
+                "ok" if result.ok else ",".join(
+                    sorted({v.kind for v in result.violations})),
+            ])
+        return rows
+
+
+def scenario_seed_for(config: CampaignConfig, index: int) -> int:
+    """The derived seed of scenario ``index`` (stable across runs)."""
+    return config.seed * 1000 + index
+
+
+# ----------------------------------------------------------------------
+# One scenario
+
+
+def _converged_fabric(sim: Simulator, k: int, hosts_per_edge: int):
+    tree = build_fat_tree(k, hosts_per_edge=hosts_per_edge)
+    fabric = build_portland_fabric(sim, tree=tree)
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    return fabric
+
+
+def _start_probes(fabric, rng: random.Random, config: CampaignConfig):
+    hosts = fabric.host_list()
+    receivers = []
+    count = min(config.probe_pairs, len(hosts) // 2)
+    shuffled = hosts[:]
+    rng.shuffle(shuffled)
+    for i in range(count):
+        src, dst = shuffled[2 * i], shuffled[2 * i + 1]
+        receivers.append(UdpStreamReceiver(dst, 6000 + i))
+        UdpStreamSender(src, dst.ip, 6000 + i,
+                        rate_pps=config.probe_rate_pps).start()
+    return receivers
+
+
+class _MigrationPlanner:
+    """Tracks host attachments and free host-facing edge ports."""
+
+    def __init__(self, fabric) -> None:
+        self.fabric = fabric
+        half = fabric.tree.k // 2
+        self.attachment = {spec.name: (spec.edge_switch, spec.edge_port)
+                           for spec in fabric.tree.hosts}
+        occupied: dict[str, set[int]] = {}
+        for edge, port in self.attachment.values():
+            occupied.setdefault(edge, set()).add(port)
+        self.free: dict[str, set[int]] = {
+            edge: set(range(half)) - occupied.get(edge, set())
+            for edge in fabric.tree.edge_names
+        }
+
+    def pick(self, rng: random.Random):
+        """A random (host, new_edge, new_port) move, or None."""
+        hosts = sorted(self.attachment)
+        rng.shuffle(hosts)
+        for host in hosts:
+            current_edge, _port = self.attachment[host]
+            targets = sorted(edge for edge, ports in self.free.items()
+                             if ports and edge != current_edge)
+            if targets:
+                edge = rng.choice(targets)
+                port = min(self.free[edge])
+                return host, edge, port
+        return None
+
+    def commit(self, host: str, edge: str, port: int) -> None:
+        old_edge, old_port = self.attachment[host]
+        self.free[old_edge].add(old_port)
+        self.free[edge].discard(port)
+        self.attachment[host] = (edge, port)
+
+
+def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
+    """Run one seeded scenario; returns its result (never raises on
+    violations — they are data)."""
+    rng = random.Random(scenario_seed)
+    k = rng.choice(tuple(config.ks))
+    result = ScenarioResult(seed=scenario_seed, k=k)
+
+    sim = Simulator(seed=scenario_seed)
+    fabric = _converged_fabric(sim, k, config.hosts_per_edge)
+    oracle = InvariantOracle(fabric)
+    _start_probes(fabric, rng, config)
+    sim.run(until=sim.now + 0.1)
+
+    candidates = switch_link_names(fabric.tree)
+    failed: dict[tuple[str, str], object] = {}
+    planner = _MigrationPlanner(fabric)
+    by_switch: dict[str, list[tuple[str, str]]] = {}
+    for a, b in candidates:
+        by_switch.setdefault(a, []).append((a, b))
+        by_switch.setdefault(b, []).append((a, b))
+
+    for _step in range(config.steps):
+        settle = config.settle_s
+        alive = [link for link in candidates if link not in failed]
+        ops = ["fail", "fail", "fail-switch", "recover"]
+        if config.migrate:
+            ops.append("migrate")
+        op = rng.choice(ops)
+        if op == "recover" and not failed:
+            op = "fail"
+        if op in ("fail", "fail-switch") and not alive:
+            op = "recover"
+
+        if op == "fail":
+            count = rng.randint(1, min(config.max_links_per_failure, len(alive)))
+            chosen = rng.sample(alive, count)
+            for pair in chosen:
+                failed[pair] = fabric.link_between(*pair)
+                failed[pair].fail()
+            result.steps.append(
+                "fail " + " ".join(f"{a}<->{b}" for a, b in chosen))
+        elif op == "fail-switch":
+            name = rng.choice(sorted(by_switch))
+            chosen = [pair for pair in by_switch[name] if pair not in failed]
+            for pair in chosen:
+                failed[pair] = fabric.link_between(*pair)
+                failed[pair].fail()
+            result.steps.append(f"fail-switch {name}")
+        elif op == "recover":
+            pairs = sorted(failed)
+            count = rng.randint(1, len(pairs))
+            for pair in rng.sample(pairs, count):
+                failed.pop(pair).recover()
+            result.steps.append(f"recover x{count}")
+        elif op == "migrate":
+            move = planner.pick(rng)
+            if move is None:
+                result.steps.append("migrate (no target)")
+                continue
+            host, edge, port = move
+            VmMigration(fabric, host, new_edge=edge, new_port=port,
+                        downtime_s=0.1).start()
+            planner.commit(host, edge, port)
+            settle = config.migrate_settle_s
+            result.steps.append(f"migrate {host}->{edge}:{port}")
+
+        sim.run(until=sim.now + settle)
+        oracle.check_now()
+        if oracle.violations and config.stop_on_violation:
+            break
+
+    result.failed_links = sorted(failed)
+    result.violations = list(oracle.violations)
+    result.hops = oracle.hops
+    oracle.close()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+
+
+def static_violations_for_links(k: int, links, hosts_per_edge: int = 1,
+                                settle_s: float = 0.6,
+                                sim_seed: int = 1) -> list[Violation]:
+    """Static-check violations after failing ``links`` simultaneously on
+    a fresh, converged fabric. The reproduction predicate for shrinking."""
+    sim = Simulator(seed=sim_seed)
+    fabric = _converged_fabric(sim, k, hosts_per_edge)
+    for a, b in links:
+        fabric.link_between(a, b).fail()
+    sim.run(until=sim.now + settle_s)
+    oracle = InvariantOracle(fabric, track_hops=False)
+    found = oracle.check_now()
+    oracle.close()
+    return found
+
+
+def shrink_failure_links(k: int, links, predicate=None,
+                         hosts_per_edge: int = 1) -> list[tuple[str, str]]:
+    """Greedy one-at-a-time minimisation of a failing link set.
+
+    ``predicate(candidate_links) -> bool`` decides whether the violation
+    still reproduces; the default re-runs the static checks on a fresh
+    fabric. Returns a subset no single element of which can be removed.
+    """
+    if predicate is None:
+        def predicate(candidate):
+            return bool(static_violations_for_links(
+                k, candidate, hosts_per_edge=hosts_per_edge))
+    current = list(links)
+    changed = True
+    while changed:
+        changed = False
+        for link in list(current):
+            candidate = [l for l in current if l != link]
+            if predicate(candidate):
+                current = candidate
+                changed = True
+    return current
+
+
+# ----------------------------------------------------------------------
+# The campaign
+
+
+def run_campaign(config: CampaignConfig | None = None,
+                 log=None) -> CampaignReport:
+    """Run a full campaign. ``log`` (e.g. ``print``) gets progress lines."""
+    config = config or CampaignConfig()
+    report = CampaignReport(config=config)
+    shrinks_left = config.max_shrinks
+    for index in range(config.scenarios):
+        seed = scenario_seed_for(config, index)
+        result = run_scenario(seed, config)
+        report.results.append(result)
+        if log is not None:
+            status = "ok" if result.ok else (
+                "VIOLATION: " + ", ".join(str(v) for v in result.violations[:3]))
+            log(f"scenario {index + 1}/{config.scenarios} seed={seed} "
+                f"k={result.k} [{'; '.join(result.steps)}] -> {status}")
+        if result.ok:
+            continue
+        kinds = tuple(sorted({v.kind for v in result.violations}))
+        if result.failed_links and shrinks_left > 0 and bool(
+                static_violations_for_links(
+                    result.k, result.failed_links,
+                    hosts_per_edge=config.hosts_per_edge)):
+            shrinks_left -= 1
+            minimal = shrink_failure_links(
+                result.k, result.failed_links,
+                hosts_per_edge=config.hosts_per_edge)
+            reproducer = Reproducer(seed, result.k, minimal, kinds, static=True)
+        else:
+            reproducer = Reproducer(seed, result.k, result.failed_links,
+                                    kinds, static=False)
+        report.reproducers.append(reproducer)
+        if log is not None:
+            log(f"  reproducer: {reproducer}")
+    return report

@@ -1,0 +1,167 @@
+"""Runtime invariant oracle: a TraceBus subscriber watching every hop.
+
+:class:`InvariantOracle` attaches to a built fabric and listens to the
+``verify.hop``/``verify.miss`` records the PortLand switches emit for
+each forwarded frame (the emissions are guarded by
+``TraceBus.wants`` — when no oracle is attached they cost one set
+lookup). From the hop stream it enforces the two *trajectory*
+invariants the paper proves by construction:
+
+* **loop-freedom** — no (payload, destination) ever enters the same
+  switch twice. Keyed on destination as well as payload identity so a
+  legitimate rewrite (a migration trap repointing a stale PMAC) starts
+  a fresh trajectory rather than a false loop;
+* **up-after-down** — once a frame has matched a *down* entry
+  (descending toward a more specific prefix) it must never match an
+  *up* entry again; this is the ordering argument behind the paper's
+  loop-freedom proof, checked per hop via
+  :func:`repro.portland.forwarding.entry_direction`.
+
+``check_now()`` additionally runs the static checks (PMAC consistency,
+override soundness, all-pairs table walks) against the current fabric
+state, for use after the fabric has settled.
+"""
+
+from __future__ import annotations
+
+from repro.net.ethernet import ETHERTYPE_IPV4
+from repro.portland.forwarding import entry_direction
+from repro.sim.trace import TraceRecord
+from repro.verify.invariants import (
+    Violation,
+    check_override_soundness,
+    check_pmac_consistency,
+)
+from repro.verify.walk import check_all_pairs_delivery
+
+#: The Ethernet I/G bit: group-addressed frames legitimately fan out and
+#: are excluded from the unicast trajectory invariants.
+_MULTICAST_BIT = 1 << 40
+
+
+class _Trajectory:
+    """Per-(payload, destination) forwarding history."""
+
+    __slots__ = ("payload", "visited", "descended")
+
+    def __init__(self, payload) -> None:
+        self.payload = payload  # strong ref: keeps id() stable
+        self.visited: set[str] = set()
+        self.descended = False
+
+
+class InvariantOracle:
+    """Watches a fabric for invariant violations.
+
+    Usage::
+
+        oracle = InvariantOracle(fabric)
+        ...  # run traffic, inject faults
+        oracle.check_now()            # static checks, after settling
+        assert oracle.violations == []
+        oracle.close()
+    """
+
+    def __init__(self, fabric, track_hops: bool = True) -> None:
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.violations: list[Violation] = []
+        self.hops = 0
+        self.misses = 0
+        self._trajectories: dict[tuple[int, int], _Trajectory] = {}
+        self._subscribed = False
+        if track_hops:
+            self.sim.trace.subscribe("verify.hop", self._on_hop)
+            self.sim.trace.subscribe("verify.miss", self._on_miss)
+            self._subscribed = True
+
+    # ------------------------------------------------------------------
+    # Runtime (per-hop) checks
+
+    def _track_for(self, record: TraceRecord) -> _Trajectory | None:
+        detail = record.detail
+        if detail.get("ethertype") != ETHERTYPE_IPV4:
+            return None
+        dst = detail["dst"]
+        if dst & _MULTICAST_BIT:
+            return None
+        payload = detail.get("payload")
+        if payload is None:
+            return None
+        key = (id(payload), dst)
+        track = self._trajectories.get(key)
+        if track is None:
+            track = self._trajectories[key] = _Trajectory(payload)
+        return track
+
+    def _on_hop(self, record: TraceRecord) -> None:
+        self.hops += 1
+        track = self._track_for(record)
+        if track is None:
+            return
+        if record.source in track.visited:
+            self.violations.append(Violation(
+                "loop", record.source, record.time,
+                {"dst": f"{record.detail['dst']:#014x}",
+                 "entry": record.detail.get("entry"),
+                 "revisits": sorted(track.visited)}))
+        track.visited.add(record.source)
+        direction = entry_direction(record.detail.get("entry", ""))
+        if direction in ("down", "deliver"):
+            track.descended = True
+        elif direction == "up" and track.descended:
+            self.violations.append(Violation(
+                "up-after-down", record.source, record.time,
+                {"dst": f"{record.detail['dst']:#014x}",
+                 "entry": record.detail.get("entry"),
+                 "path_so_far": sorted(track.visited)}))
+
+    def _on_miss(self, record: TraceRecord) -> None:
+        # Misses are expected during convergence windows; they are
+        # counted for diagnostics and judged post-hoc by the table
+        # walker, which knows whether the destination was reachable.
+        self.misses += 1
+
+    # ------------------------------------------------------------------
+    # Static (settled-state) checks
+
+    def check_now(self, pairs=None, pmac: bool = True,
+                  overrides: bool = True, delivery: bool = True
+                  ) -> list[Violation]:
+        """Run the post-hoc invariant checks against the current state.
+
+        Returns only the *new* violations found by this call (they are
+        also appended to :attr:`violations`). Call on a settled fabric.
+        """
+        found: list[Violation] = []
+        if pmac:
+            found.extend(check_pmac_consistency(self.fabric))
+        if overrides:
+            found.extend(check_override_soundness(self.fabric))
+        if delivery:
+            found.extend(check_all_pairs_delivery(self.fabric, pairs=pairs))
+        self.violations.extend(found)
+        return found
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def reset(self) -> None:
+        """Forget all trajectories and violations (e.g. between steps)."""
+        self._trajectories.clear()
+        self.violations.clear()
+        self.hops = 0
+        self.misses = 0
+
+    def close(self) -> None:
+        """Unsubscribe from the trace bus. Idempotent."""
+        if self._subscribed:
+            self.sim.trace.unsubscribe("verify.hop", self._on_hop)
+            self.sim.trace.unsubscribe("verify.miss", self._on_miss)
+            self._subscribed = False
+
+    def __enter__(self) -> "InvariantOracle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

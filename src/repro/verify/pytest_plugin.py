@@ -1,0 +1,48 @@
+"""Pytest integration for the invariant oracle.
+
+Registered from ``tests/conftest.py`` via ``pytest_plugins``. Any test
+can take the ``invariant_oracle`` fixture — a factory that attaches an
+:class:`~repro.verify.oracle.InvariantOracle` to a fabric. At teardown
+every attached oracle is closed and its accumulated *runtime*
+violations (loops, up-after-down) asserted empty, so an existing
+integration test becomes an invariant test by adding one line::
+
+    def test_something(fabric, invariant_oracle):
+        oracle = invariant_oracle(fabric)
+        ...  # drive traffic / faults as before
+        oracle.check_now()  # optional: static checks at a settled point
+
+Tests that *expect* violations (fault-injection negatives) should use
+:class:`InvariantOracle` directly rather than this fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.oracle import InvariantOracle
+
+
+@pytest.fixture
+def invariant_oracle():
+    """Factory fixture: ``invariant_oracle(fabric) -> InvariantOracle``.
+
+    Closes every oracle it created at teardown and fails the test if any
+    recorded violations remain unexamined.
+    """
+    created: list[InvariantOracle] = []
+
+    def attach(fabric, track_hops: bool = True) -> InvariantOracle:
+        oracle = InvariantOracle(fabric, track_hops=track_hops)
+        created.append(oracle)
+        return oracle
+
+    yield attach
+
+    problems: list[str] = []
+    for oracle in created:
+        oracle.close()
+        problems.extend(str(v) for v in oracle.violations)
+    if problems:
+        pytest.fail("invariant violations:\n" + "\n".join(problems),
+                    pytrace=False)

@@ -1,0 +1,84 @@
+"""Independent up*-down* reachability oracle over the alive graph.
+
+This is the ground truth the invariant checks compare the fabric
+against. It deliberately does **not** reuse
+:func:`repro.portland.faults.compute_overrides` (the code under test):
+it is a from-scratch breadth-first search over the
+:class:`~repro.portland.topology_view.FabricView` wiring minus the fault
+matrix, constrained to the paths PortLand forwarding can actually take:
+
+* a frame ascends from its source edge into an aggregation switch, and
+  may ascend once more into a core;
+* once it starts descending it never goes back up;
+* an aggregation switch in the *destination's* pod only ever moves the
+  frame down (the ``own-pod-drop`` loop guard forbids re-ascending), so
+  same-pod traffic must transit an aggregation switch with alive links
+  to both edges.
+
+Plain graph connectivity is *not* the right oracle — a fabric can be
+connected through a "valley" (edge→agg→core→agg→edge within one pod)
+that loop-free forwarding refuses to use. Using this constrained
+reachability keeps the oracle honest about which drops are genuine
+blackholes and which are provable disconnections.
+"""
+
+from __future__ import annotations
+
+from repro.portland.messages import SwitchLevel
+from repro.portland.topology_view import FabricView
+
+
+def _aggs_of_core_in_pod(view: FabricView, core: int, pod: int) -> list[int]:
+    """Aggregation switches of ``pod`` physically wired to ``core``."""
+    return [
+        nbr for nbr in view.neighbors_of(core).values()
+        if view.level(nbr) is SwitchLevel.AGGREGATION and view.pod(nbr) == pod
+    ]
+
+
+def deliverable_via_core(view: FabricView, core: int, dst_edge: int) -> bool:
+    """Whether a frame *descending from* ``core`` can reach ``dst_edge``.
+
+    Requires an alive core→agg link into the destination pod and an
+    alive agg→edge link below it.
+    """
+    pod = view.pod(dst_edge)
+    if pod is None:
+        return False
+    return any(
+        view.alive(core, agg) and view.alive(agg, dst_edge)
+        for agg in _aggs_of_core_in_pod(view, core, pod)
+    )
+
+
+def deliverable_via_agg(view: FabricView, agg: int, dst_edge: int) -> bool:
+    """Whether a frame *ascending into* ``agg`` can still reach ``dst_edge``.
+
+    In the destination's pod the only legal move is straight down; in any
+    other pod the frame may ascend once more into an alive core that can
+    itself descend to the destination.
+    """
+    if view.pod(agg) == view.pod(dst_edge):
+        return view.alive(agg, dst_edge)
+    return any(
+        view.alive(agg, core) and deliverable_via_core(view, core, dst_edge)
+        for core in view.core_neighbors(agg)
+    )
+
+
+def edge_reachable(view: FabricView, src_edge: int, dst_edge: int) -> bool:
+    """Whether any loop-free PortLand path exists between two edges."""
+    if src_edge == dst_edge:
+        return True
+    pod = view.pod(src_edge)
+    if pod is None:
+        return False
+    return any(
+        view.alive(src_edge, agg) and deliverable_via_agg(view, agg, dst_edge)
+        for agg in view.aggs_in_pod(pod)
+    )
+
+
+def reachable_edge_set(view: FabricView, src_edge: int) -> set[int]:
+    """All edge switches reachable from ``src_edge`` (including itself)."""
+    return {edge for edge in view.edges() if edge_reachable(view, src_edge, edge)}

@@ -5,6 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.sim import Simulator
+
+pytest_plugins = ["repro.verify.pytest_plugin"]
 from repro.topology import build_portland_fabric
 from repro.topology.builder import PortlandFabric
 

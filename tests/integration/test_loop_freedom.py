@@ -42,7 +42,7 @@ def instrument_no_revisit(fabric):
 
 @pytest.mark.parametrize("seed,failures", [(41, 0), (42, 2), (43, 4),
                                            (44, 6), (45, 8)])
-def test_no_switch_revisits_under_failures(seed, failures):
+def test_no_switch_revisits_under_failures(seed, failures, invariant_oracle):
     sim = Simulator(seed=seed)
     fabric = build_portland_fabric(
         sim, k=4, link_params=LinkParams(carrier_detect=False))
@@ -51,6 +51,9 @@ def test_no_switch_revisits_under_failures(seed, failures):
     fabric.announce_hosts()
     fabric.run_until_registered()
     violations = instrument_no_revisit(fabric)
+    # The repro.verify oracle watches the same run: its teardown asserts
+    # no loop/up-after-down violations alongside the tap-based check.
+    oracle = invariant_oracle(fabric)
 
     hosts = fabric.host_list()
     rng = sim.random.stream("loop-test")
@@ -71,6 +74,8 @@ def test_no_switch_revisits_under_failures(seed, failures):
     sim.run(until=2.5)
 
     assert violations == []
+    # Post-churn the settled fabric passes the full static suite too.
+    assert oracle.check_now() == []
     # And the fabric still delivers after the churn.
     for rx in receivers:
         late = [t for t in rx.arrival_times() if t > 2.3]

@@ -1,6 +1,9 @@
 """Unit tests for the fabric manager's fault-override computation."""
 
-from repro.portland.faults import compute_overrides, diff_overrides
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.portland.faults import apply_diff, compute_overrides, diff_overrides
 from repro.portland.messages import SwitchLevel
 from repro.portland.pmac import position_prefix
 from repro.portland.topology_view import FabricView, SwitchRecord
@@ -136,3 +139,134 @@ def test_diff_overrides_no_change_is_empty():
     state = {1: {(0xA, 24): {7}}}
     updates, clears = diff_overrides(state, {1: {(0xA, 24): {7}}})
     assert updates == [] and clears == []
+
+
+# ----------------------------------------------------------------------
+# diff/apply round-trip properties
+
+# Override maps as the FM builds them: no switch entry without at least
+# one prefix (compute_overrides only creates entries via setdefault on a
+# real avoid set); empty *avoid* sets are legal and mean "drop".
+_prefix = st.tuples(st.integers(0, 2**48 - 1), st.sampled_from((24, 40)))
+_avoid = st.sets(st.integers(0, 40), max_size=4)
+_overrides = st.dictionaries(
+    st.integers(0, 20),
+    st.dictionaries(_prefix, _avoid, min_size=1, max_size=3),
+    max_size=6,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(old=_overrides, new=_overrides)
+def test_apply_diff_roundtrip_forward(old, new):
+    # The incremental FaultUpdate/FaultClear stream lands the fabric in
+    # exactly the state a from-scratch recomputation would.
+    updates, clears = diff_overrides(old, new)
+    assert apply_diff(old, updates, clears) == new
+
+
+@settings(max_examples=200, deadline=None)
+@given(old=_overrides, new=_overrides)
+def test_apply_diff_roundtrip_inverse(old, new):
+    # old -> new -> old restores the original state (recovery sequences
+    # are exact inverses of the failures that caused them).
+    forward = apply_diff(old, *diff_overrides(old, new))
+    restored = apply_diff(forward, *diff_overrides(new, old))
+    assert restored == old
+
+
+@settings(max_examples=100, deadline=None)
+@given(state=_overrides)
+def test_diff_is_fixpoint_after_apply(state):
+    updates, clears = diff_overrides(state, state)
+    assert updates == [] and clears == []
+    applied = apply_diff(state, updates, clears)
+    assert diff_overrides(applied, state) == ([], [])
+
+
+def test_apply_diff_does_not_mutate_base():
+    base = {1: {(0xA, 24): {7}}}
+    apply_diff(base, [(1, (0xA, 24), (9,))], [(1, (0xA, 24))])
+    assert base == {1: {(0xA, 24): {7}}}
+
+
+# ----------------------------------------------------------------------
+# Fully-partitioned prefixes: an empty allowed set must yield an
+# explicit drop override (avoid = every physical uplink), never an
+# absent entry — absence means "use the default ECMP set", which would
+# spray traffic at a provably unreachable destination.
+
+
+def _all_uplinks(view, sid, level):
+    return {nbr for nbr in view.neighbors_of(sid).values()
+            if view.level(nbr) is level}
+
+
+def test_partitioned_prefix_gets_explicit_drop_everywhere():
+    # Edge 101 (pod0, pos1) loses both its uplinks: its prefix is
+    # unreachable fabric-wide.
+    view = make_fat_tree_view(failed=[(200, 101), (201, 101)])
+    overrides = compute_overrides(view)
+    prefix = position_prefix(0, 1)
+    key = (prefix[0].value, prefix[1])
+    half = 2
+    for pod in range(4):
+        for e in range(half):
+            edge = 100 + pod * half + e
+            if edge == 101:
+                continue  # the destination itself holds no override
+            assert overrides[edge][key] == _all_uplinks(
+                view, edge, SwitchLevel.AGGREGATION), edge
+        for a in range(half):
+            agg = 200 + pod * half + a
+            if pod == 0:
+                # Same-pod aggs route down or drop locally; the FM never
+                # overrides them for their own pod's prefixes.
+                assert key not in overrides.get(agg, {})
+            else:
+                assert overrides[agg][key] == _all_uplinks(
+                    view, agg, SwitchLevel.CORE), agg
+
+
+def test_partition_overlapping_with_unrelated_failure():
+    # The partition of 101 composes with an unrelated agg-core failure:
+    # the drop overrides for 101's prefix must be unchanged, while the
+    # core failure adds its own avoid entries for other prefixes.
+    view = make_fat_tree_view(
+        failed=[(200, 101), (201, 101), (202, 300)])
+    overrides = compute_overrides(view)
+    prefix = position_prefix(0, 1)
+    key = (prefix[0].value, prefix[1])
+    assert overrides[102][key] == {202, 203}
+    assert overrides[104][key] == {204, 205}
+    assert overrides[202][key] == {300, 301}
+    # agg 202 (pod1, group0) lost core 300: pods 2/3's group-0 aggs are
+    # unaffected for pod-1 prefixes, but pod-1 destinations now avoid
+    # core 300 from other pods' group-0 aggs.
+    pod1_prefix = position_prefix(1, 0)
+    pod1_key = (pod1_prefix[0].value, pod1_prefix[1])
+    for agg in (200, 204, 206):
+        assert overrides[agg][pod1_key] == {300}
+
+
+def test_recovery_sequence_clears_partition_overrides():
+    # Fail both uplinks of 101, then recover them one at a time,
+    # applying the diff stream at each step; the final state is empty.
+    steps = [
+        [(200, 101), (201, 101)],  # both down: full partition
+        [(200, 101)],              # one recovered
+        [],                        # all recovered
+    ]
+    state = {}
+    prefix = position_prefix(0, 1)
+    key = (prefix[0].value, prefix[1])
+    for failed in steps:
+        target = compute_overrides(make_fat_tree_view(failed=failed))
+        updates, clears = diff_overrides(state, target)
+        state = apply_diff(state, updates, clears)
+        assert state == target
+    assert state == {}
+    # And mid-sequence the partial recovery really shrank the avoid set.
+    mid = compute_overrides(make_fat_tree_view(failed=[(200, 101)]))
+    assert mid[102][key] == {202}  # only the group of the dead agg
+    assert key not in mid.get(100, {}) or mid[100][key] == {200}

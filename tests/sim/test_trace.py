@@ -52,6 +52,55 @@ def test_unsubscribe_removes_handler():
     bus.unsubscribe("*", seen.append)  # not registered: no error
 
 
+def test_unsubscribe_deactivates_prefix():
+    # Regression: unsubscribe used to leave the top-level prefix marked
+    # active forever, so guarded emitters kept paying to build records
+    # nobody would receive.
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("verify.hop", seen.append)
+    assert bus.wants("verify.hop")
+    bus.unsubscribe("verify.hop", seen.append)
+    assert not bus.wants("verify.hop")
+    assert not bus.wants("verify.anything")
+
+
+def test_unsubscribe_keeps_prefix_while_peers_remain():
+    bus = TraceBus()
+    first, second = [], []
+    bus.subscribe("verify.hop", first.append)
+    bus.subscribe("verify.miss", second.append)
+    bus.unsubscribe("verify.hop", first.append)
+    # Another subscriber still shares the "verify" prefix.
+    assert bus.wants("verify.miss")
+    bus.emit(1.0, "verify.miss", "s")
+    assert len(second) == 1
+    bus.unsubscribe("verify.miss", second.append)
+    assert not bus.wants("verify.miss")
+
+
+def test_duplicate_subscribe_unsubscribe_balances_prefix():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("x.y", seen.append)
+    bus.subscribe("x.y", seen.append)  # same handler registered twice
+    bus.unsubscribe("x.y", seen.append)
+    assert bus.wants("x.y")  # one registration remains
+    bus.unsubscribe("x.y", seen.append)
+    assert not bus.wants("x.y")
+
+
+def test_collector_close_detaches():
+    sim = Simulator()
+    collector = TraceCollector(sim.trace, "evt")
+    sim.trace.emit(1.0, "evt", "s")
+    collector.close()
+    assert not sim.trace.wants("evt")
+    sim.trace.emit(2.0, "evt", "s")
+    assert collector.times() == [1.0]
+    collector.close()  # idempotent
+
+
 def test_collector_gathers_times():
     sim = Simulator()
     collector = TraceCollector(sim.trace, "evt")

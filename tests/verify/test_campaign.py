@@ -1,0 +1,90 @@
+"""Campaign driver tests, including the mutation smoke test.
+
+The mutation test is the acceptance check for the whole subsystem: with
+a deliberately broken fault handler (aggregation overrides skipped), the
+oracle must catch the resulting blackhole and shrink the failure set to
+the single causal link. With the real implementation, campaigns must
+come back clean.
+"""
+
+import pytest
+
+import repro.portland.faults as faults
+from repro.verify.campaign import (
+    CampaignConfig,
+    Reproducer,
+    run_campaign,
+    run_scenario,
+    scenario_seed_for,
+    shrink_failure_links,
+    static_violations_for_links,
+)
+
+
+def quick_config(**overrides) -> CampaignConfig:
+    defaults = dict(scenarios=3, seed=11, steps=3, probe_pairs=2,
+                    probe_rate_pps=100.0)
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def test_small_campaign_is_clean():
+    report = run_campaign(quick_config())
+    assert report.ok
+    assert report.violation_count == 0
+    assert report.reproducers == []
+    assert len(report.results) == 3
+    assert all(result.hops > 0 for result in report.results)
+
+
+def test_scenarios_are_deterministic():
+    config = quick_config(scenarios=1)
+    seed = scenario_seed_for(config, 0)
+    first = run_scenario(seed, config)
+    second = run_scenario(seed, config)
+    assert first.steps == second.steps
+    assert first.hops == second.hops
+    assert first.failed_links == second.failed_links
+
+
+def test_static_check_clean_with_real_implementation():
+    links = [("agg-p0-s0", "core-0"), ("edge-p1-s0", "agg-p1-s1")]
+    assert static_violations_for_links(4, links) == []
+
+
+def test_mutation_agg_overrides_skipped_is_caught(monkeypatch):
+    # Break the FM: aggregation switches in remote pods never learn to
+    # avoid a core that lost its link into the destination pod. Their
+    # ECMP set still contains the dead core, whose own pod entry was
+    # removed -> table miss -> blackhole the walker must attribute.
+    monkeypatch.setattr(faults, "_agg_overrides", lambda *a, **k: None)
+    links = [("agg-p0-s0", "core-0"), ("edge-p1-s0", "agg-p1-s1")]
+    violations = static_violations_for_links(4, links)
+    assert violations, "mutation survived: broken overrides went undetected"
+    assert {v.kind for v in violations} == {"blackhole"}
+    minimal = shrink_failure_links(4, links)
+    assert minimal == [("agg-p0-s0", "core-0")]
+
+
+def test_mutation_caught_by_campaign_with_reproducer(monkeypatch):
+    monkeypatch.setattr(faults, "_agg_overrides", lambda *a, **k: None)
+    # Enough scenarios/steps that some scenario fails an agg-core link.
+    report = run_campaign(quick_config(scenarios=4, steps=4, migrate=False))
+    assert not report.ok
+    assert report.reproducers
+    reproducer = report.reproducers[0]
+    assert isinstance(reproducer, Reproducer)
+    assert "blackhole" in reproducer.kinds
+    assert "seed=" in str(reproducer)
+    if reproducer.static:
+        # A shrunk reproducer must itself reproduce.
+        assert static_violations_for_links(reproducer.k, reproducer.links)
+
+
+@pytest.mark.campaign
+def test_full_campaign_25_scenarios():
+    # The 'make verify' workload as a test: excluded from tier-1 runs by
+    # the default '-m "not campaign"' addopts.
+    report = run_campaign(CampaignConfig(scenarios=25, seed=7))
+    assert report.ok, "\n".join(
+        str(v) for result in report.results for v in result.violations)

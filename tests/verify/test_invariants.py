@@ -1,0 +1,145 @@
+"""Static invariant checks against real (and sabotaged) fabrics."""
+
+import pytest
+
+from repro.portland.messages import SwitchLevel
+from repro.portland.pmac import POSITION_PREFIX_LEN, position_prefix
+from repro.verify.invariants import (
+    check_override_soundness,
+    check_pmac_consistency,
+)
+from repro.verify.walk import check_all_pairs_delivery
+
+
+def settle(fabric, duration=0.5):
+    fabric.sim.run(until=fabric.sim.now + duration)
+
+
+def edge_agents(fabric):
+    return [a for a in fabric.agents.values() if a.level is SwitchLevel.EDGE]
+
+
+# ----------------------------------------------------------------------
+# PMAC consistency
+
+
+def test_pmac_consistency_clean_on_converged_fabric(fabric):
+    assert check_pmac_consistency(fabric) == []
+
+
+def test_pmac_duplicate_detected(fabric):
+    donor, thief = edge_agents(fabric)[:2]
+    pmac_mac, record = next(iter(donor.hosts_by_pmac.items()))
+    thief.hosts_by_pmac[pmac_mac] = record
+    kinds = {v.kind for v in check_pmac_consistency(fabric)}
+    assert "pmac-duplicate" in kinds
+    # The copied record also fails the structural check at the thief
+    # (wrong pod/position for that edge).
+    assert "pmac-structure" in kinds
+
+
+def test_pmac_structure_mismatch_detected(fabric):
+    agent = edge_agents(fabric)[0]
+    record = next(iter(agent.hosts_by_pmac.values()))
+    record.port = record.port + 1  # no longer the port the host hangs off
+    kinds = {v.kind for v in check_pmac_consistency(fabric)}
+    assert "pmac-structure" in kinds
+    # The FM's registry still holds the original port: registry check
+    # fires too.
+    assert "pmac-registry" in kinds
+
+
+def test_fm_binding_missing_at_edge_detected(fabric):
+    agent = edge_agents(fabric)[0]
+    pmac_mac = next(iter(agent.hosts_by_pmac))
+    amac = agent.hosts_by_pmac[pmac_mac].amac
+    del agent.hosts_by_pmac[pmac_mac]
+    agent.hosts_by_amac.pop(amac, None)
+    kinds = {v.kind for v in check_pmac_consistency(fabric)}
+    assert kinds == {"pmac-registry"}
+
+
+# ----------------------------------------------------------------------
+# Override soundness
+
+
+def test_overrides_sound_after_single_failure(fabric):
+    fabric.link_between("agg-p0-s0", "edge-p0-s1").fail()
+    settle(fabric)
+    assert check_override_soundness(fabric) == []
+
+
+def test_overrides_sound_after_core_failure(fabric):
+    fabric.link_between("agg-p1-s0", "core-0").fail()
+    settle(fabric)
+    assert check_override_soundness(fabric) == []
+
+
+def test_gratuitous_avoid_flagged(fabric):
+    # Hand the pod-2 edge an override avoiding a perfectly alive agg for
+    # a perfectly reachable prefix: minimality violated.
+    agent = fabric.agents["edge-p2-s0"]
+    value, bits = position_prefix(0, 0)
+    alive_agg = fabric.agents["agg-p2-s0"].switch_id
+    agent._fault_overrides[(value.value, bits)] = (alive_agg,)
+    violations = check_override_soundness(fabric)
+    assert [v.kind for v in violations] == ["override-soundness"]
+    assert violations[0].detail["reason"] == "alive path forbidden by override"
+
+
+def test_non_position_prefix_override_flagged(fabric):
+    agent = fabric.agents["edge-p2-s0"]
+    agent._fault_overrides[(0, POSITION_PREFIX_LEN + 8)] = (1,)
+    violations = check_override_soundness(fabric)
+    assert [v.kind for v in violations] == ["override-soundness"]
+
+
+# ----------------------------------------------------------------------
+# Table walks (delivery / blackholes / loops)
+
+
+def test_all_pairs_delivered_on_healthy_fabric(fabric):
+    assert check_all_pairs_delivery(fabric) == []
+
+
+def test_all_pairs_delivered_after_survivable_failures(fabric):
+    fabric.link_between("agg-p0-s0", "edge-p0-s1").fail()
+    fabric.link_between("agg-p3-s1", "core-3").fail()
+    settle(fabric)
+    assert check_all_pairs_delivery(fabric) == []
+
+
+def test_partitioned_destination_is_not_a_blackhole(fabric):
+    # Cut both uplinks of edge-p0-s0: its hosts are provably
+    # unreachable, so the resulting drops are justified, not blackholes.
+    fabric.link_between("agg-p0-s0", "edge-p0-s0").fail()
+    fabric.link_between("agg-p0-s1", "edge-p0-s0").fail()
+    settle(fabric)
+    assert check_all_pairs_delivery(fabric) == []
+
+
+def test_sabotaged_core_table_reports_blackhole(fabric):
+    core = fabric.switches["core-0"]
+    removed = core.table.remove_by_name("pod:3")
+    assert removed
+    violations = check_all_pairs_delivery(fabric)
+    kinds = {v.kind for v in violations}
+    assert kinds == {"blackhole"}
+    assert any(v.where == "core-0" for v in violations)
+
+
+def test_sabotaged_egress_rewrite_reports_misdelivery(fabric):
+    # Strip the AMAC rewrite from one host-egress entry: the frame
+    # reaches the right host still carrying its PMAC.
+    from repro.switching.flow_table import SetEthDst
+
+    edge = fabric.switches["edge-p1-s0"]
+    for entry in edge.table:
+        if entry.name and entry.name.startswith("host:"):
+            entry.actions = [a for a in entry.actions
+                             if not isinstance(a, SetEthDst)]
+            break
+    else:
+        pytest.fail("no host egress entry found")
+    violations = check_all_pairs_delivery(fabric)
+    assert {v.kind for v in violations} == {"misdelivery"}

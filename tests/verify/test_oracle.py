@@ -1,0 +1,96 @@
+"""Runtime oracle tests: trajectory invariants over the hop stream."""
+
+from repro.host.apps import UdpStreamReceiver, UdpStreamSender
+from repro.net.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4
+from repro.verify.oracle import InvariantOracle
+
+
+class _Payload:
+    pass
+
+
+def emit_hop(fabric, switch, entry, payload, dst=0x000100000000,
+             ethertype=ETHERTYPE_IPV4):
+    fabric.sim.trace.emit(fabric.sim.now, "verify.hop", switch,
+                          payload=payload, dst=dst, ethertype=ethertype,
+                          entry=entry, in_port=0)
+
+
+def test_real_traffic_is_clean_and_counted(fabric):
+    hosts = fabric.host_list()
+    src, dst = hosts[0], hosts[-1]  # cross-pod pair
+    with InvariantOracle(fabric) as oracle:
+        UdpStreamReceiver(dst, 5000)
+        UdpStreamSender(src, dst.ip, 5000, rate_pps=500.0).start()
+        fabric.sim.run(until=fabric.sim.now + 0.2)
+        assert oracle.hops > 0
+        assert oracle.violations == []
+        assert oracle.check_now() == []
+
+
+def test_switch_revisit_is_a_loop(fabric):
+    payload = _Payload()
+    with InvariantOracle(fabric) as oracle:
+        emit_hop(fabric, "edge-p0-s0", "default-up", payload)
+        emit_hop(fabric, "agg-p0-s0", "default-up", payload)
+        emit_hop(fabric, "edge-p0-s0", "default-up", payload)
+        assert [v.kind for v in oracle.violations] == ["loop"]
+        assert oracle.violations[0].where == "edge-p0-s0"
+
+
+def test_up_after_down_flagged(fabric):
+    payload = _Payload()
+    with InvariantOracle(fabric) as oracle:
+        emit_hop(fabric, "core-0", "pod:1", payload)       # descending
+        emit_hop(fabric, "agg-p1-s0", "default-up", payload)  # re-ascends!
+        assert [v.kind for v in oracle.violations] == ["up-after-down"]
+
+
+def test_rewritten_destination_starts_fresh_trajectory(fabric):
+    # A migration trap rewrites the destination PMAC; the same payload
+    # then legally re-traverses switches it already visited.
+    payload = _Payload()
+    with InvariantOracle(fabric) as oracle:
+        emit_hop(fabric, "edge-p0-s0", "pod:0", payload, dst=0x000100000000)
+        emit_hop(fabric, "edge-p0-s0", "default-up", payload,
+                 dst=0x000200000000)
+        assert oracle.violations == []
+
+
+def test_non_ip_and_multicast_excluded(fabric):
+    payload = _Payload()
+    with InvariantOracle(fabric) as oracle:
+        emit_hop(fabric, "edge-p0-s0", "default-up", payload,
+                 ethertype=ETHERTYPE_ARP)
+        emit_hop(fabric, "edge-p0-s0", "default-up", payload,
+                 ethertype=ETHERTYPE_ARP)
+        emit_hop(fabric, "edge-p0-s1", "mcast:1", payload,
+                 dst=0x01005E000001)
+        emit_hop(fabric, "edge-p0-s1", "mcast:1", payload,
+                 dst=0x01005E000001)
+        assert oracle.violations == []
+        assert oracle.hops == 4
+
+
+def test_close_unsubscribes_and_reset_clears(fabric):
+    oracle = InvariantOracle(fabric)
+    assert fabric.sim.trace.wants("verify.hop")
+    emit_hop(fabric, "edge-p0-s0", "default-up", _Payload())
+    assert oracle.hops == 1
+    oracle.reset()
+    assert oracle.hops == 0 and oracle.violations == []
+    oracle.close()
+    assert not fabric.sim.trace.wants("verify.hop")
+    emit_hop(fabric, "edge-p0-s0", "default-up", _Payload())
+    assert oracle.hops == 0
+    oracle.close()  # idempotent
+
+
+def test_fixture_attaches_and_observes_traffic(fabric, invariant_oracle):
+    oracle = invariant_oracle(fabric)
+    hosts = fabric.host_list()
+    UdpStreamReceiver(hosts[1], 5001)
+    UdpStreamSender(hosts[0], hosts[1].ip, 5001, rate_pps=200.0).start()
+    fabric.sim.run(until=fabric.sim.now + 0.1)
+    assert oracle.hops > 0
+    oracle.check_now()

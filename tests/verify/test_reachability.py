@@ -1,0 +1,74 @@
+"""Unit tests for the independent up*-down* reachability oracle."""
+
+from repro.verify.reachability import (
+    deliverable_via_agg,
+    deliverable_via_core,
+    edge_reachable,
+    reachable_edge_set,
+)
+from tests.portland.test_faults import make_fat_tree_view
+
+# Id scheme from make_fat_tree_view: edges 100+pod*2+i, aggs 200+pod*2+i,
+# cores 300+c (k=4).
+
+
+def test_healthy_fabric_all_pairs_reachable():
+    view = make_fat_tree_view()
+    edges = view.edges()
+    for src in edges:
+        assert reachable_edge_set(view, src) == set(edges)
+
+
+def test_same_pod_needs_shared_alive_agg():
+    # Pod-0 edges 100/101 talk through aggs 200/201. Cutting 100-200 and
+    # 101-201 leaves both edges with an alive uplink, but no *shared*
+    # agg — and the own-pod-drop guard forbids the valley through core.
+    view = make_fat_tree_view(failed=[(100, 200), (101, 201)])
+    assert not edge_reachable(view, 100, 101)
+    assert not edge_reachable(view, 101, 100)
+    # Cross-pod reachability survives: each edge still has one uplink.
+    assert edge_reachable(view, 100, 102)
+    assert edge_reachable(view, 101, 102)
+
+
+def test_same_pod_one_shared_agg_suffices():
+    view = make_fat_tree_view(failed=[(100, 200)])
+    assert edge_reachable(view, 100, 101)  # via agg 201
+
+
+def test_cross_pod_through_surviving_core_group():
+    # Agg 200 (pod0 group0) loses all cores: pod-0 traffic to pod 1 must
+    # go through agg 201's group.
+    view = make_fat_tree_view(failed=[(200, 300), (200, 301)])
+    assert edge_reachable(view, 100, 102)
+    assert not deliverable_via_agg(view, 200, 102)
+    assert deliverable_via_agg(view, 201, 102)
+
+
+def test_isolated_edge_unreachable_but_self_reachable():
+    view = make_fat_tree_view(failed=[(100, 200), (100, 201)])
+    assert edge_reachable(view, 100, 100)
+    assert reachable_edge_set(view, 100) == {100}
+    assert not edge_reachable(view, 102, 100)
+
+
+def test_deliverable_via_core_requires_both_legs():
+    view = make_fat_tree_view()
+    # Core 300 reaches pod-0 edges through agg 200.
+    assert deliverable_via_core(view, 300, 100)
+    # Kill the core->agg leg: nothing in pod 0 is deliverable from 300.
+    view = make_fat_tree_view(failed=[(300, 200)])
+    assert not deliverable_via_core(view, 300, 100)
+    # Kill the agg->edge leg instead: only that edge is lost.
+    view = make_fat_tree_view(failed=[(200, 100)])
+    assert not deliverable_via_core(view, 300, 100)
+    assert deliverable_via_core(view, 300, 101)
+
+
+def test_descent_never_reascends():
+    # Core 302 (group 1) serves pod 0 via agg 201 only. With 201-100
+    # dead, core 302 cannot deliver to edge 100 even though a physical
+    # detour (302 -> 201 -> 101 -> ...) exists in the undirected graph.
+    view = make_fat_tree_view(failed=[(201, 100)])
+    assert not deliverable_via_core(view, 302, 100)
+    assert deliverable_via_core(view, 302, 101)
