@@ -1,6 +1,6 @@
 # Convenience targets for the PortLand reproduction.
 
-.PHONY: install test bench examples lint-clean verify all
+.PHONY: install test bench bench-kernel examples lint-clean verify all
 
 install:
 	pip install -e .
@@ -13,6 +13,12 @@ test-fast:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Simulator-substrate benchmarks (event kernel, flow table, decision
+# cache); machine-readable results land in BENCH_sim_kernel.json.
+bench-kernel:
+	PYTHONPATH=src pytest benchmarks/bench_sim_kernel.py --benchmark-only \
+		--benchmark-json=BENCH_sim_kernel.json
 
 # Fixed-seed invariant fault campaign (see docs/VERIFY.md).
 verify:

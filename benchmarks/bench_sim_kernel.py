@@ -7,12 +7,15 @@ pytest-benchmark measurements, unlike the single-shot experiment
 harnesses.
 """
 
+import timeit
+
 from common import print_header
 
 from repro.net import AppData, EthernetFrame, IPv4Packet, UdpDatagram, mac
 from repro.net.addresses import IPv4Address
 from repro.net.ethernet import ETHERTYPE_IPV4
 from repro.net.ipv4 import IPPROTO_UDP
+from repro.portland.config import PortlandConfig
 from repro.sim import Simulator
 from repro.switching.flow_table import (
     FlowTable,
@@ -22,6 +25,9 @@ from repro.switching.flow_table import (
     flow_hash,
     mac_prefix_mask,
 )
+from repro.switching.switch import FlowSwitch
+from repro.topology import build_portland_fabric
+from repro.topology.fattree import build_fat_tree
 
 EVENTS = 20_000
 
@@ -92,3 +98,100 @@ def test_flow_hash_rate(benchmark):
     benchmark(run)
     rate = 1000 / benchmark.stats.stats.mean
     print_header(f"ECMP HASH - {rate:,.0f} five-tuple hashes/second")
+
+
+# ----------------------------------------------------------------------
+# Forwarding fast path: k=8 all-to-all through the real switch pipeline
+
+
+def _converged_k8_fabric(decision_cache_entries: int):
+    """A registered k=8 fabric (32 hosts, one per edge switch)."""
+    sim = Simulator(seed=99)
+    config = PortlandConfig(decision_cache_entries=decision_cache_entries)
+    fabric = build_portland_fabric(sim, tree=build_fat_tree(8, hosts_per_edge=1),
+                                   config=config)
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    return fabric
+
+
+def _all_to_all_frames(fabric, flows_per_pair: int = 4):
+    """(ingress switch, ingress port, frame) for every ordered host pair,
+    ``flows_per_pair`` distinct UDP flows each, addressed to the PMAC a
+    proxy-ARP reply would hand the sender."""
+    fm = fabric.fabric_manager
+    hosts = fabric.host_list()
+    workload = []
+    for src in hosts:
+        for dst in hosts:
+            if src is dst:
+                continue
+            record = fm.hosts_by_ip[dst.ip]
+            for flow in range(flows_per_pair):
+                packet = IPv4Packet(src.ip, dst.ip, IPPROTO_UDP,
+                                    UdpDatagram(10_000 + flow, 80, AppData(64)))
+                frame = EthernetFrame(record.pmac, src.mac,
+                                      ETHERTYPE_IPV4, packet)
+                ingress = src.nic.peer
+                workload.append((ingress.node, ingress.index, frame))
+    return workload
+
+
+def _replay(workload) -> tuple[int, int]:
+    """Forward every frame hop-by-hop through the real per-switch
+    decision path (``PortlandSwitch._forwarding_decision`` — exactly what
+    ``receive()`` runs), following output ports across the live wiring
+    until the frame leaves on a host port. Returns (hops, delivered)."""
+    hops = 0
+    delivered = 0
+    for node, in_index, frame in workload:
+        while True:
+            _entry, actions = node._forwarding_decision(frame, in_index)
+            hops += 1
+            out = None
+            for action in actions:
+                if type(action) is Output:
+                    out = action.port
+                elif type(action) is SelectByHash:
+                    out = action.ports[flow_hash(frame) % len(action.ports)]
+            peer = node.ports[out].peer
+            if isinstance(peer.node, FlowSwitch):
+                node, in_index = peer.node, peer.index
+            else:
+                delivered += 1
+                break
+    return hops, delivered
+
+
+def test_forwarding_fast_path_k8_all_to_all(benchmark):
+    """Decision-cache acceptance: >= 1.5x packet-forwarding throughput on
+    a k=8 all-to-all workload, with identical forwarding decisions."""
+    baseline = _converged_k8_fabric(decision_cache_entries=0)
+    cached = _converged_k8_fabric(decision_cache_entries=4096)
+    workload_base = _all_to_all_frames(baseline)
+    workload_cached = _all_to_all_frames(cached)
+
+    # Warm both (fills the caches) and cross-check every path end-to-end.
+    result_base = _replay(workload_base)
+    result_cached = _replay(workload_cached)
+    assert result_base == result_cached, "cache changed forwarding behaviour"
+    hops, delivered = result_cached
+    assert delivered == len(workload_cached), "all-to-all not fully delivered"
+
+    base_s = min(timeit.repeat(lambda: _replay(workload_base),
+                               number=1, repeat=5))
+    benchmark(lambda: _replay(workload_cached))
+    cached_s = benchmark.stats.stats.min
+    speedup = base_s / cached_s
+    final = cached.decision_cache_stats()
+    assert final["hits"] > 0 and final["entries"] > 0, "cache never engaged"
+    hit_rate = final["hits"] / (final["hits"] + final["misses"])
+    print_header(
+        f"FORWARDING - k=8 all-to-all, {len(workload_cached):,} flows, "
+        f"{hops:,} hops: {hops / cached_s:,.0f} hops/s cached vs "
+        f"{hops / base_s:,.0f} uncached ({speedup:.2f}x, "
+        f"hit rate {hit_rate:.1%})")
+    assert speedup >= 1.5, (
+        f"decision cache speedup {speedup:.2f}x below the 1.5x floor")

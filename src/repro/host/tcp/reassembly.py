@@ -8,6 +8,8 @@ application.
 
 from __future__ import annotations
 
+import bisect
+
 
 class ReassemblyBuffer:
     """Tracks received sequence ranges above ``rcv_nxt``."""
@@ -41,21 +43,20 @@ class ReassemblyBuffer:
         return self._advance()
 
     def _insert(self, start: int, end: int) -> None:
-        merged: list[tuple[int, int]] = []
-        placed = False
-        for r_start, r_end in self._ranges:
-            if r_end < start or end < r_start:
-                if not placed and r_start > end:
-                    merged.append((start, end))
-                    placed = True
-                merged.append((r_start, r_end))
-            else:
-                start = min(start, r_start)
-                end = max(end, r_end)
-        if not placed:
-            merged.append((start, end))
-            merged.sort()
-        self._ranges = merged
+        # Splice into the sorted range list in O(log n + merged) instead
+        # of rebuilding and re-sorting it per segment: find the leftmost
+        # range that touches [start, end), absorb every overlapping or
+        # adjacent neighbour, and replace that slice with the union.
+        ranges = self._ranges
+        lo = bisect.bisect_left(ranges, (start, start))
+        if lo > 0 and ranges[lo - 1][1] >= start:
+            lo -= 1
+        hi = lo
+        while hi < len(ranges) and ranges[hi][0] <= end:
+            start = min(start, ranges[hi][0])
+            end = max(end, ranges[hi][1])
+            hi += 1
+        ranges[lo:hi] = [(start, end)]
 
     def _advance(self) -> int:
         delivered = 0

@@ -39,7 +39,7 @@ ETHERNET_MTU = 1500
 class EthernetFrame(Packet):
     """An Ethernet II frame, optionally 802.1Q-tagged."""
 
-    __slots__ = ("dst", "src", "ethertype", "payload", "vlan")
+    __slots__ = ("dst", "src", "ethertype", "payload", "vlan", "_fwd_memo")
 
     def __init__(
         self,
@@ -58,6 +58,12 @@ class EthernetFrame(Packet):
         self.ethertype = ethertype
         self.payload = payload
         self.vlan = vlan
+        # Memoised (src value, decision key) managed by
+        # repro.switching.flow_table; a pure function of the headers and
+        # the (immutable-once-sent) payload, revalidated against
+        # src/dst/ethertype on every read so header rewrites can never
+        # serve a stale key.
+        self._fwd_memo: tuple | None = None
 
     def header_length(self) -> int:
         """Bytes of framing overhead (header + FCS + any VLAN tag)."""

@@ -220,11 +220,16 @@ class PortlandAgent(SwitchAgent):
             key = (message.prefix.value, message.prefix_len)
             self._fault_overrides[key] = message.avoid_neighbor_ids
             self._install_fault_entry(key)
+            # The table-change listener already flushed; this explicit
+            # flush also covers a FaultUpdate that re-prescribes the
+            # entry the switch already has installed.
+            self.switch.flush_decisions("fault-update")
         elif isinstance(message, FaultClear):
             key = (message.prefix.value, message.prefix_len)
             self._fault_overrides.pop(key, None)
             self.switch.table.remove_by_name(
                 f"fault:{MacAddress(key[0])}/{key[1]}")
+            self.switch.flush_decisions("fault-clear")
         elif isinstance(message, McastInstall):
             entry = fwd.mcast_group(message.group_mac, message.ports)
             self.switch.table.remove_by_name(entry[3])
@@ -238,9 +243,14 @@ class PortlandAgent(SwitchAgent):
         elif isinstance(message, DisableLink):
             self.fm_blocked_neighbors.add(message.neighbor_id)
             self._refresh_entries()
+            # ECMP memberships just changed shape: retire any decision
+            # that could still steer a flow into the disabled link even
+            # if _refresh_entries produced a byte-identical table.
+            self.switch.flush_decisions("link-disable")
         elif isinstance(message, EnableLink):
             self.fm_blocked_neighbors.discard(message.neighbor_id)
             self._refresh_entries()
+            self.switch.flush_decisions("link-enable")
         elif isinstance(message, BroadcastRelay):
             self._emit_relayed_broadcast(message)
 

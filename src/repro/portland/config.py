@@ -30,6 +30,9 @@ class PortlandConfig:
 
     #: Switch software (packet-in) path latency.
     agent_delay_s: float = 50e-6
+    #: Per-switch forwarding decision-cache capacity (0 disables the
+    #: fast path and forces the full LPM walk on every packet).
+    decision_cache_entries: int = 4096
     #: Debounce for neighbor reports to the fabric manager.
     report_debounce_s: float = 0.005
 

@@ -108,6 +108,10 @@ class FabricManager(Node):
         self.arp_queries = 0
         self.arp_misses = 0
         self.busy_time = 0.0
+        #: Prescriptive override traffic (per-switch cache invalidation
+        #: pressure: every update/clear flushes that switch's decisions).
+        self.override_updates_sent = 0
+        self.override_clears_sent = 0
 
     # ------------------------------------------------------------------
     # Control-network attachment
@@ -343,6 +347,13 @@ class FabricManager(Node):
                                 FaultUpdate(MacAddress(value), bits, avoid))
         for switch_id, (value, bits) in clears:
             self.send_to_switch(switch_id, FaultClear(MacAddress(value), bits))
+        self.override_updates_sent += len(updates)
+        self.override_clears_sent += len(clears)
+        if (updates or clears) and self.sim.trace.wants("fm.overrides"):
+            self.sim.trace.emit(self.sim.now, "fm.overrides", self.name,
+                                updates=len(updates), clears=len(clears),
+                                switches=len({s for s, *_ in updates}
+                                             | {s for s, _ in clears}))
         self._sent_overrides = new
 
     # ------------------------------------------------------------------

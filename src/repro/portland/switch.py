@@ -7,6 +7,15 @@ through to stage 2 (*forwarding table*), which holds the PMAC
 longest-prefix-match entries, multicast entries, ARP interception, and
 the ECMP default-up route.
 
+Stage 2 runs behind a per-switch :class:`DecisionCache`: the verdict of
+the longest-prefix walk (matched entry + hash-resolved actions) is
+memoised by (dst PMAC, ethertype, IP protocol, flow hash), so
+steady-state forwarding costs one dict probe per hop instead of a
+priority-ordered match scan. Every table mutation — entry installs and
+removals, fault-override diffs, ECMP membership refreshes — flushes the
+cache through the table's change listener, and the agent additionally
+flushes explicitly when the fabric manager changes link/override state.
+
 LDP frames and control-network frames bypass the tables entirely — they
 terminate in switch software, like protocol packets reaching a switch
 CPU port.
@@ -17,7 +26,9 @@ from __future__ import annotations
 from repro.net.ethernet import ETHERTYPE_LDP, EthernetFrame
 from repro.net.link import Port
 from repro.sim.simulator import Simulator
+from repro.switching.decision_cache import DEFAULT_CAPACITY, DecisionCache
 from repro.switching.flow_table import (
+    FlowEntry,
     FlowTable,
     Output,
     OutputMany,
@@ -25,10 +36,13 @@ from repro.switching.flow_table import (
     SetEthDst,
     SetEthSrc,
     ToAgent,
+    decision_key,
 )
 from repro.switching.switch import FlowSwitch
 
 _TERMINAL_ACTIONS = (Output, OutputMany, SelectByHash, ToAgent)
+
+_NO_DECISION: tuple[FlowEntry | None, tuple] = (None, ())
 
 
 class PortlandSwitch(FlowSwitch):
@@ -40,11 +54,17 @@ class PortlandSwitch(FlowSwitch):
         name: str,
         num_ports: int,
         agent_delay_s: float = 50e-6,
+        decision_cache_entries: int = DEFAULT_CAPACITY,
     ) -> None:
         super().__init__(sim, name, num_ports, agent_delay_s=agent_delay_s,
                          miss_to_agent=False)
         self.rewrite_table = FlowTable()
         self.control_port: Port | None = None
+        self.decision_cache: DecisionCache | None = None
+        if decision_cache_entries > 0:
+            self.decision_cache = DecisionCache(self.table,
+                                                decision_cache_entries)
+            self.decision_cache.on_flush = self._trace_cache_flush
 
     def attach_control_port(self) -> Port:
         """Add the out-of-band port that connects to the fabric manager."""
@@ -74,7 +94,7 @@ class PortlandSwitch(FlowSwitch):
                 return
             current = self._apply_rewrites(current, rewrite.actions)
 
-        entry = self.table.lookup(current, in_port.index)
+        entry, actions = self._forwarding_decision(current, in_port.index)
         if entry is None:
             self.miss_drops += 1
             if self.sim.trace.wants("verify.miss"):
@@ -91,7 +111,46 @@ class PortlandSwitch(FlowSwitch):
                                 dst=current.dst.value,
                                 ethertype=current.ethertype,
                                 entry=entry.name, in_port=in_port.index)
-        self.apply_actions(current, in_port, entry.actions)
+        self.apply_actions(current, in_port, actions)
+
+    # ------------------------------------------------------------------
+    # Forwarding fast path
+
+    def _forwarding_decision(
+        self, frame: EthernetFrame, in_index: int,
+    ) -> tuple[FlowEntry | None, tuple]:
+        """The stage-2 verdict for ``frame``: (matched entry, actions).
+
+        Served from the decision cache when possible; falls back to the
+        full LPM walk (and memoises its verdict) otherwise. The cache is
+        bypassed entirely while the table holds any match the decision
+        key cannot distinguish (``cache_safe`` false) — correctness
+        before speed.
+        """
+        cache = self.decision_cache
+        if cache is None or not self.table.cache_safe:
+            entry = self.table.lookup(frame, in_index)
+            return (entry, entry.actions) if entry is not None else _NO_DECISION
+        key = decision_key(frame)
+        decision = cache.lookup(key)
+        if decision is not None:
+            return decision
+        entry = self.table.lookup(frame, in_index)
+        if entry is None:
+            # Misses are not memoised: they occur in convergence windows
+            # where the table is about to change under us anyway.
+            return _NO_DECISION
+        return cache.install(key, entry)
+
+    def flush_decisions(self, reason: str = "explicit") -> None:
+        """Drop all cached forwarding decisions (control-plane hook)."""
+        if self.decision_cache is not None:
+            self.decision_cache.invalidate_all(reason)
+
+    def _trace_cache_flush(self, reason: str) -> None:
+        if self.sim.trace.wants("switch.cache_flush"):
+            self.sim.trace.emit(self.sim.now, "switch.cache_flush", self.name,
+                                reason=reason)
 
     def _apply_rewrites(self, frame: EthernetFrame, actions) -> EthernetFrame:
         current = frame

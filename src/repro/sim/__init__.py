@@ -13,6 +13,7 @@ from repro.sim.stats import (
     RateMeter,
     SummaryStats,
     TimeSeries,
+    aggregate_counters,
     cdf_points,
     percentile,
     summarize,
@@ -36,6 +37,7 @@ __all__ = [
     "TraceBus",
     "TraceCollector",
     "TraceRecord",
+    "aggregate_counters",
     "cdf_points",
     "percentile",
     "summarize",

@@ -9,6 +9,15 @@ Cancellation is *lazy*: cancelled events stay in the heap but are skipped
 when popped. This keeps cancellation O(1), which matters because protocol
 timers (LDP keepalives, TCP retransmission timers) are cancelled and
 re-armed far more often than they fire.
+
+Lazy cancellation alone lets the heap grow without bound when timers are
+re-armed faster than their old entries reach the top (a long TCP run
+re-arms its retransmission timer on every ACK). The queue therefore
+*compacts* itself — dropping cancelled entries and re-heapifying — once
+cancelled entries outnumber live ones and the heap is big enough for the
+O(n) sweep to pay for itself. Amortised cost stays O(1) per cancellation:
+each compaction removes at least half the heap, paid for by the
+cancellations that created those entries.
 """
 
 from __future__ import annotations
@@ -72,17 +81,35 @@ class Event:
         return f"<Event t={self.time:.9f} prio={self.priority} {name} {state}>"
 
 
+#: Below this heap size a compaction sweep costs more than it saves.
+COMPACT_MIN_HEAP = 64
+
+
 class EventQueue:
     """Min-heap of :class:`Event` objects with lazy cancellation."""
 
-    def __init__(self) -> None:
+    def __init__(self, compact_min_heap: int = COMPACT_MIN_HEAP) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        self._compact_min_heap = compact_min_heap
+
+        # Lifetime counters (see ``stats``).
+        self.pushes = 0
+        self.pops = 0
+        self.cancellations = 0
+        self.compactions = 0
+        self.compacted_entries = 0
+        self.peak_heap = 0
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events still queued."""
         return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, including not-yet-reclaimed cancelled entries."""
+        return len(self._heap)
 
     def push(
         self,
@@ -97,6 +124,9 @@ class EventQueue:
         event = Event(time, priority, next(self._counter), callback, args)
         heapq.heappush(self._heap, event)
         self._live += 1
+        self.pushes += 1
+        if len(self._heap) > self.peak_heap:
+            self.peak_heap = len(self._heap)
         return event
 
     def pop(self) -> Event | None:
@@ -106,6 +136,7 @@ class EventQueue:
             if event.cancelled:
                 continue
             self._live -= 1
+            self.pops += 1
             return event
         return None
 
@@ -121,9 +152,37 @@ class EventQueue:
         """Inform the queue that one queued event was cancelled.
 
         Called by the simulator so ``len()`` stays accurate; the heap entry
-        itself is discarded lazily on pop.
+        itself is discarded lazily on pop, or eagerly by compaction when
+        cancelled entries come to dominate the heap.
         """
         self._live -= 1
+        self.cancellations += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        heap = self._heap
+        if len(heap) < self._compact_min_heap:
+            return
+        dead = len(heap) - self._live
+        if dead <= self._live:
+            return
+        self._heap = [event for event in heap if not event._cancelled]
+        heapq.heapify(self._heap)
+        self.compactions += 1
+        self.compacted_entries += len(heap) - len(self._heap)
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime queue counters plus the current heap occupancy."""
+        return {
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "cancellations": self.cancellations,
+            "compactions": self.compactions,
+            "compacted_entries": self.compacted_entries,
+            "peak_heap": self.peak_heap,
+            "heap_size": len(self._heap),
+            "live": self._live,
+        }
 
     def clear(self) -> None:
         """Drop every pending event."""

@@ -19,6 +19,16 @@ class Timer:
 
     ``start`` arms (or re-arms) the timer; ``stop`` disarms it. The
     callback fires at most once per arming.
+
+    Re-arming is *slotted*: the timer tracks its logical ``_deadline``
+    separately from the heap entry backing it. Pushing the deadline
+    further out (the overwhelmingly common case — a TCP retransmission
+    timer re-armed on every ACK, LDP liveness refreshed on every beacon)
+    reuses the pending event: when that event fires before the current
+    deadline it simply re-schedules itself at the deadline instead of
+    running the callback. Only a re-arm to an *earlier* instant pays for
+    a cancel + fresh push, so a busy flow contributes O(1) live heap
+    entries instead of one cancelled entry per ACK.
     """
 
     def __init__(
@@ -33,36 +43,54 @@ class Timer:
         self._args = args
         self._priority = priority
         self._event: Event | None = None
+        self._deadline: float | None = None
 
     @property
     def armed(self) -> bool:
         """Whether the timer is currently pending."""
-        return self._event is not None and not self._event.cancelled
+        return self._deadline is not None
 
     @property
     def expires_at(self) -> float | None:
         """Absolute expiry time, or ``None`` when disarmed."""
-        if not self.armed:
-            return None
-        assert self._event is not None
-        return self._event.time
+        return self._deadline
 
     def start(self, delay: float) -> None:
         """Arm the timer to fire after ``delay`` seconds, replacing any
         earlier arming."""
-        self.stop()
+        deadline = self._sim.now + delay
+        if self._event is not None:
+            if self._event.time <= deadline:
+                # Deadline stayed put or moved out: keep the heap entry;
+                # _fire defers itself to the deadline when it pops early.
+                self._deadline = deadline
+                return
+            self._sim.cancel(self._event)
+        self._deadline = deadline
         self._event = self._sim.schedule(
             delay, self._fire, priority=self._priority
         )
 
     def stop(self) -> None:
         """Disarm the timer if armed."""
+        self._deadline = None
         if self._event is not None:
             self._sim.cancel(self._event)
             self._event = None
 
     def _fire(self) -> None:
         self._event = None
+        deadline = self._deadline
+        if deadline is None:
+            return
+        if deadline > self._sim.now:
+            # The arming this event was pushed for has been superseded by
+            # a later deadline: slide forward instead of firing.
+            self._event = self._sim.schedule_at(
+                deadline, self._fire, priority=self._priority
+            )
+            return
+        self._deadline = None
         self._callback(*self._args)
 
 

@@ -121,3 +121,8 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of live events waiting in the queue."""
         return len(self._queue)
+
+    def queue_stats(self) -> dict[str, int]:
+        """Event-queue counters (pushes, pops, cancellations, compactions,
+        heap occupancy) — the kernel half of the fast-path telemetry."""
+        return self._queue.stats()

@@ -132,12 +132,24 @@ class SummaryStats:
     p99: float
 
 
-def percentile(sorted_samples: list[float], fraction: float) -> float:
-    """Linear-interpolated percentile of an already-sorted sample list."""
-    if not sorted_samples:
+def _is_sorted(samples: list[float]) -> bool:
+    return all(a <= b for a, b in zip(samples, samples[1:]))
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile of a sample list.
+
+    Callers that already hold sorted data (``summarize`` sorts once and
+    queries three percentiles) pay only an O(n) sortedness check;
+    unsorted input is sorted into a copy rather than silently producing
+    a wrong answer, which is what interpolating over an unsorted list
+    used to do.
+    """
+    if not samples:
         raise ValueError("percentile of empty sample set")
-    if len(sorted_samples) == 1:
-        return sorted_samples[0]
+    if len(samples) == 1:
+        return samples[0]
+    sorted_samples = samples if _is_sorted(samples) else sorted(samples)
     rank = fraction * (len(sorted_samples) - 1)
     lo = int(math.floor(rank))
     hi = int(math.ceil(rank))
@@ -167,6 +179,19 @@ def summarize(samples: list[float]) -> SummaryStats:
         p95=percentile(ordered, 0.95),
         p99=percentile(ordered, 0.99),
     )
+
+
+def aggregate_counters(counter_dicts) -> dict[str, int]:
+    """Key-wise sum of an iterable of ``{name: count}`` dicts.
+
+    Rolls per-switch decision-cache snapshots (or per-simulator event
+    queue stats) into one fabric-wide view for benchmarks and reports.
+    """
+    total: dict[str, int] = {}
+    for counters in counter_dicts:
+        for key, value in counters.items():
+            total[key] = total.get(key, 0) + value
+    return total
 
 
 def cdf_points(samples: list[float]) -> list[tuple[float, float]]:

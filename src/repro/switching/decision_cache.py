@@ -1,0 +1,124 @@
+"""Exact-match decision cache in front of a flow table's LPM walk.
+
+PortLand's forwarding state is O(k) per switch, but the simulated data
+plane used to pay the full longest-prefix walk (priority-ordered ``Match``
+evaluation) plus an ECMP hash for every packet at every hop. A
+:class:`DecisionCache` memoises the *verdict* of that walk — the matched
+entry and its actions with ``SelectByHash`` pre-resolved — keyed by
+:func:`~repro.switching.flow_table.decision_key` (dst PMAC, ethertype,
+IP protocol, flow hash). Steady-state forwarding then costs one hash +
+one dict probe per hop.
+
+Correctness rests on two guarantees:
+
+* **Key sufficiency** — the cache only serves a table whose every match
+  is ``key_only`` (``FlowTable.cache_safe``): two frames with equal keys
+  are then indistinguishable to every installed entry, so the cached
+  verdict is exactly what the walk would return. Per-frame behaviour
+  that legitimately depends on the ingress port (``OutputMany``'s
+  ingress exclusion, ``send_out``'s no-reflection rule) is re-applied at
+  action-execution time, not baked into the cache.
+* **Invalidation** — the cache registers itself as a change listener on
+  the table, so every install/remove (base entries, fault-override
+  diffs, ECMP membership refreshes pushed by the fabric manager) flushes
+  all cached verdicts before the next lookup. A whole-cache flush keeps
+  the hook O(1); table changes are control-plane-rare next to packets.
+"""
+
+from __future__ import annotations
+
+from repro.switching.flow_table import (
+    Action,
+    DecisionKey,
+    FlowEntry,
+    FlowTable,
+    resolve_actions,
+)
+
+#: Default per-switch capacity. A k=48 fabric has ~27k hosts; one edge
+#: switch's working set (its hosts' flows) is far smaller.
+DEFAULT_CAPACITY = 4096
+
+
+class DecisionCache:
+    """Memoised forwarding decisions for one :class:`FlowTable`."""
+
+    __slots__ = ("_table", "_capacity", "_decisions", "on_flush",
+                 "hits", "misses", "installs", "evictions", "flushes")
+
+    def __init__(self, table: FlowTable,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._table = table
+        self._capacity = capacity
+        self._decisions: dict[
+            DecisionKey, tuple[FlowEntry, tuple[Action, ...]]] = {}
+        #: Optional ``callback(reason)`` observing flushes (trace hook).
+        self.on_flush = None
+        self.hits = 0
+        self.misses = 0
+        self.installs = 0
+        self.evictions = 0
+        self.flushes = 0
+        table.add_change_listener(self._on_table_change)
+
+    def lookup(self, key: DecisionKey):
+        """Cached ``(entry, resolved_actions)`` for ``key``, or ``None``."""
+        decision = self._decisions.get(key)
+        if decision is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return decision
+
+    def install(self, key: DecisionKey,
+                entry: FlowEntry) -> tuple[FlowEntry, tuple[Action, ...]]:
+        """Memoise and return the walk verdict for ``key``.
+
+        The caller has just looked ``entry`` up in the table, so the
+        resolved actions reflect the table's current version; any later
+        mutation flushes them via the change listener.
+        """
+        if len(self._decisions) >= self._capacity:
+            # FIFO eviction: drop the oldest insertion (dict order).
+            self._decisions.pop(next(iter(self._decisions)))
+            self.evictions += 1
+        decision = (entry, resolve_actions(entry.actions, key[3]))
+        self._decisions[key] = decision
+        self.installs += 1
+        return decision
+
+    def invalidate_all(self, reason: str = "table-change") -> None:
+        """Drop every cached decision."""
+        if self._decisions:
+            self._decisions.clear()
+        self.flushes += 1
+        if self.on_flush is not None:
+            self.on_flush(reason)
+
+    def _on_table_change(self) -> None:
+        # Cheap when already empty (common during convergence bursts
+        # where many entries are installed before any packet flows).
+        if self._decisions:
+            self.invalidate_all()
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot, aggregatable via ``stats.aggregate_counters``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "installs": self.installs,
+            "evictions": self.evictions,
+            "flushes": self.flushes,
+            "entries": len(self._decisions),
+        }

@@ -52,6 +52,19 @@ class Match:
     ethertype: int | None = None
     ip_proto: int | None = None
 
+    @property
+    def key_only(self) -> bool:
+        """Whether this match depends only on (eth_dst, ethertype,
+        ip_proto) — the fields captured by a :func:`decision_key`.
+
+        Two frames with equal decision keys are indistinguishable to a
+        key-only match, which is what makes caching its verdict sound.
+        Matches constrained by ``in_port`` or ``eth_src`` can tell such
+        frames apart, so one entry of that shape disables the decision
+        cache for the whole table (see ``FlowTable.cache_safe``).
+        """
+        return self.in_port is None and self.eth_src is None
+
     def matches(self, frame: EthernetFrame, in_port: int) -> bool:
         """Whether ``frame`` arriving on ``in_port`` satisfies this match."""
         if self.in_port is not None and in_port != self.in_port:
@@ -147,16 +160,50 @@ class FlowEntry:
 
 
 class FlowTable:
-    """Priority-ordered flow table with first-match semantics."""
+    """Priority-ordered flow table with first-match semantics.
+
+    Every mutation bumps ``version`` and fires the registered change
+    listeners — the invalidation hooks decision caches hang off so a
+    table install/remove (base entries, fault overrides, ECMP membership
+    refreshes) immediately retires any cached verdicts derived from the
+    old contents.
+    """
 
     def __init__(self) -> None:
         self._entries: list[FlowEntry] = []
+        #: Bumped on every mutation; caches compare against it.
+        self.version = 0
+        self._listeners: list = []
+        # Entries whose match inspects fields outside the decision key
+        # (in_port / eth_src); any such entry makes cached decisions
+        # unsound for this table.
+        self._non_key_entries = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __iter__(self):
         return iter(self._entries)
+
+    @property
+    def cache_safe(self) -> bool:
+        """Whether every installed match is decision-key-only (so a
+        decision cache keyed by :func:`decision_key` is sound)."""
+        return self._non_key_entries == 0
+
+    def add_change_listener(self, listener) -> None:
+        """Call ``listener()`` after every mutation of this table."""
+        self._listeners.append(listener)
+
+    def remove_change_listener(self, listener) -> None:
+        """Detach a previously registered listener (missing ones ignored)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _changed(self) -> None:
+        self.version += 1
+        for listener in self._listeners:
+            listener()
 
     def install(
         self,
@@ -175,31 +222,43 @@ class FlowTable:
                 index = i
                 break
         self._entries.insert(index, entry)
+        if not match.key_only:
+            self._non_key_entries += 1
+        self._changed()
         return entry
 
     def remove(self, entry: FlowEntry) -> bool:
         """Remove one entry. Returns False if it was not present."""
         try:
             self._entries.remove(entry)
-            return True
         except ValueError:
             return False
+        if not entry.match.key_only:
+            self._non_key_entries -= 1
+        self._changed()
+        return True
 
     def remove_by_name(self, name: str) -> int:
         """Remove all entries whose ``name`` equals ``name``; returns count."""
-        before = len(self._entries)
-        self._entries = [e for e in self._entries if e.name != name]
-        return before - len(self._entries)
+        return self.remove_where(lambda e: e.name == name)
 
     def remove_where(self, predicate) -> int:
         """Remove all entries for which ``predicate(entry)`` is true."""
         before = len(self._entries)
         self._entries = [e for e in self._entries if not predicate(e)]
-        return before - len(self._entries)
+        removed = before - len(self._entries)
+        if removed:
+            self._non_key_entries = sum(
+                1 for e in self._entries if not e.match.key_only)
+            self._changed()
+        return removed
 
     def clear(self) -> None:
         """Drop every entry."""
-        self._entries.clear()
+        if self._entries:
+            self._entries.clear()
+            self._non_key_entries = 0
+            self._changed()
 
     def lookup(self, frame: EthernetFrame, in_port: int,
                skip_punts: bool = False) -> FlowEntry | None:
@@ -221,12 +280,10 @@ class FlowTable:
 # Flow hashing (for ECMP)
 
 
-def flow_hash(frame: EthernetFrame) -> int:
-    """Deterministic per-flow hash over L2–L4 headers.
-
-    All packets of a transport flow hash identically, so ECMP never
-    reorders a flow — the property the paper relies on for TCP.
-    """
+def _hash_and_proto(frame: EthernetFrame) -> tuple[int, int | None]:
+    """``(flow hash, IP protocol)`` of a frame; protocol is ``None`` for
+    non-IPv4 (or unparseable) payloads."""
+    protocol: int | None = None
     material = frame.src.to_bytes() + frame.dst.to_bytes()
     material += frame.ethertype.to_bytes(2, "big")
     if frame.ethertype == ETHERTYPE_IPV4 and frame.payload is not None:
@@ -235,12 +292,73 @@ def flow_hash(frame: EthernetFrame) -> int:
         except Exception:
             packet = None
         if packet is not None:
+            protocol = packet.protocol
             material += packet.src.to_bytes() + packet.dst.to_bytes()
             material += bytes([packet.protocol])
             ports = _transport_ports(packet)
             if ports is not None:
                 material += ports[0].to_bytes(2, "big") + ports[1].to_bytes(2, "big")
-    return zlib.crc32(material)
+    return zlib.crc32(material), protocol
+
+
+def flow_hash(frame: EthernetFrame) -> int:
+    """Deterministic per-flow hash over L2–L4 headers.
+
+    All packets of a transport flow hash identically, so ECMP never
+    reorders a flow — the property the paper relies on for TCP.
+    """
+    return decision_key(frame)[3]
+
+
+#: A cache key: (dst MAC value, ethertype, IP protocol, flow hash).
+DecisionKey = tuple[int, int, int | None, int]
+
+
+def decision_key(frame: EthernetFrame) -> DecisionKey:
+    """The exact-match key a decision cache indexes by.
+
+    Covers every frame field a ``cache_safe`` table can branch on
+    (``eth_dst``, ``ethertype``, ``ip_proto``) plus the flow hash, which
+    pins the ECMP member a ``SelectByHash`` action would pick — so one
+    cached verdict replays both the LPM walk and the hash selection.
+
+    The key is memoised on the frame: a frame crosses ~5 switches and
+    the hash material is identical at each, so recomputing the CRC per
+    hop would dominate the fast path. The memo records the (src, dst,
+    ethertype) it was derived from and is recomputed whenever any of
+    them changed (PMAC/AMAC rewrites, in-place router rewrites); the
+    payload needs no check because the library treats payloads as
+    immutable once sent.
+    """
+    memo = frame._fwd_memo
+    dst_value = frame.dst.value
+    if (memo is not None and memo[0] == frame.src.value
+            and (key := memo[1])[0] == dst_value
+            and key[1] == frame.ethertype):
+        return key
+    fhash, protocol = _hash_and_proto(frame)
+    key = (dst_value, frame.ethertype, protocol, fhash)
+    frame._fwd_memo = (frame.src.value, key)
+    return key
+
+
+def resolve_actions(actions: tuple[Action, ...],
+                    fhash: int) -> tuple[Action, ...]:
+    """Specialise an action list for one flow hash.
+
+    ``SelectByHash`` collapses to the ``Output`` it would choose (the
+    hash is part of the decision key, so the choice is fixed per key);
+    everything else — rewrites, punts, ``OutputMany`` with its at-apply
+    ingress exclusion — is applied per-frame and passes through as-is.
+    """
+    resolved: list[Action] = []
+    for action in actions:
+        if isinstance(action, SelectByHash):
+            if action.ports:
+                resolved.append(Output(action.ports[fhash % len(action.ports)]))
+        else:
+            resolved.append(action)
+    return tuple(resolved)
 
 
 def _transport_ports(packet: IPv4Packet) -> tuple[int, int] | None:

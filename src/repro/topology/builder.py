@@ -112,6 +112,15 @@ class PortlandFabric:
             return self.sim.now
         raise TopologyError("hosts did not register with the fabric manager")
 
+    def decision_cache_stats(self) -> dict[str, int]:
+        """Fabric-wide decision-cache counters (hits, misses, flushes...)."""
+        from repro.sim.stats import aggregate_counters
+
+        return aggregate_counters(
+            switch.decision_cache.stats()
+            for switch in self.switches.values()
+            if switch.decision_cache is not None)
+
     def agent_for(self, switch_name: str) -> PortlandAgent:
         """Agent of a named switch."""
         return self.agents[switch_name]
@@ -145,7 +154,8 @@ def build_portland_fabric(
                                         wire.port_b + 1)
     for name in tree.edge_names + tree.agg_names + tree.core_names:
         switch = PortlandSwitch(sim, name, max(tree.k, ports_needed.get(name, 0)),
-                                agent_delay_s=config.agent_delay_s)
+                                agent_delay_s=config.agent_delay_s,
+                                decision_cache_entries=config.decision_cache_entries)
         agent = PortlandAgent(switch, config)
         switch.attach_agent(agent)
         fabric.switches[name] = switch

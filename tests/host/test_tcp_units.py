@@ -196,6 +196,54 @@ def test_zero_length_and_negative():
         buf.offer(0, -1)
 
 
+def test_heavy_out_of_order_stream_reassembles_identically():
+    """Deliver a long stream as heavily shuffled, overlapping segments and
+    check the reassembled byte stream equals the in-order reference.
+
+    Regression guard for the bisect-based ``_insert``: the old code
+    rebuilt and re-sorted the whole range list per segment, and a splice
+    bug here would corrupt delivery order or drop/duplicate bytes.
+    """
+    import random
+
+    rng = random.Random(1234)
+    total = 64_000
+    mss = 536
+    segments = [(seq, min(mss, total - seq)) for seq in range(0, total, mss)]
+    # Duplicates and stragglers that overlap two neighbours.
+    segments += [(seq, length) for seq, length in segments[::7]]
+    segments += [(max(0, seq - 100), min(mss + 200, total - max(0, seq - 100)))
+                 for seq, _length in segments[::11]]
+    rng.shuffle(segments)
+
+    buf = ReassemblyBuffer(rcv_nxt=0)
+    reference = ReassemblyBuffer(rcv_nxt=0)
+    # Reference consumes the same byte ranges strictly in order.
+    for seq, length in sorted(segments):
+        reference.offer(seq, length)
+
+    delivered = []
+    for seq, length in segments:
+        got = buf.offer(seq, length)
+        if got:
+            # Synthetic payload: bytes are their sequence number mod 256,
+            # so equal ranges imply equal reassembled bytes.
+            delivered.append((buf.rcv_nxt - got, buf.rcv_nxt))
+
+    assert buf.rcv_nxt == reference.rcv_nxt == total
+    assert buf.out_of_order_bytes == 0
+    # Delivered chunks are contiguous, non-overlapping, and cover [0, total).
+    flat = bytearray()
+    expected = bytearray(seq % 256 for seq in range(total))
+    cursor = 0
+    for start, end in delivered:
+        assert start == cursor, "delivery left a gap or overlapped"
+        flat.extend(expected[start:end])
+        cursor = end
+    assert cursor == total
+    assert bytes(flat) == bytes(expected)
+
+
 @given(st.lists(st.tuples(st.integers(0, 50), st.integers(1, 20)),
                 min_size=1, max_size=40))
 def test_reassembly_total_matches_union(segments):

@@ -72,3 +72,66 @@ def test_clear_empties_queue():
     q.clear()
     assert len(q) == 0
     assert q.pop() is None
+
+
+# ----------------------------------------------------------------------
+# Heap compaction
+
+
+def test_heap_stays_bounded_under_cancel_churn():
+    # Regression: lazy cancellation used to leave every cancelled entry
+    # in the heap until it reached the top, so a constantly re-armed
+    # far-future timer grew the heap without bound.
+    q = EventQueue()
+    for i in range(10_000):
+        event = q.push(1000.0 + i, lambda: None)
+        event.cancel()
+        q.note_cancelled()
+        # One live far-future event so the heap is never trivially empty.
+        if i == 0:
+            q.push(2000.0, lambda: None)
+    assert len(q) == 1
+    assert q.heap_size <= 2 * (len(q) + 1) + 64
+    assert q.compactions > 0
+    assert q.stats()["compacted_entries"] >= 10_000 - q.heap_size
+
+
+def test_compaction_preserves_pop_order():
+    q = EventQueue()
+    fired = []
+    keep = [q.push(float(t), fired.append, (t,)) for t in range(100)]
+    cancelled = [q.push(t + 0.5, fired.append, (-t,)) for t in range(200)]
+    for event in cancelled:
+        event.cancel()
+        q.note_cancelled()
+    assert q.compactions > 0
+    while (event := q.pop()) is not None:
+        event.callback(*event.args)
+    assert fired == list(range(100))
+    assert len(keep) == 100  # silence unused warning
+
+
+def test_no_compaction_below_min_heap_size():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(20)]
+    for event in events[:15]:
+        event.cancel()
+        q.note_cancelled()
+    # 15 dead vs 5 live, but the heap is tiny: not worth a sweep.
+    assert q.compactions == 0
+    assert q.heap_size == 20
+
+
+def test_queue_stats_counters():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    e1.cancel()
+    q.note_cancelled()
+    q.pop()
+    stats = q.stats()
+    assert stats["pushes"] == 2
+    assert stats["pops"] == 1
+    assert stats["cancellations"] == 1
+    assert stats["peak_heap"] == 2
+    assert stats["live"] == 0

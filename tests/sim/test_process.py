@@ -53,6 +53,67 @@ def test_timer_can_be_rearmed_from_callback():
     assert fired == [1.0, 2.0, 3.0]
 
 
+def test_timer_rearm_later_reuses_pending_event():
+    # The slotted re-arm path: pushing the deadline out must not push a
+    # fresh heap entry per call (the TCP-retransmit-on-every-ACK pattern).
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    pushes_before = sim.queue_stats()["pushes"]
+    for _ in range(500):
+        timer.start(1.0)  # same deadline: reuse
+    timer.start(5.0)  # later deadline: still reuse
+    assert sim.queue_stats()["pushes"] == pushes_before
+    assert timer.expires_at == 5.0
+    sim.run()
+    # One deferral hop (the old t=1.0 entry sliding to t=5.0) is allowed.
+    assert fired == [5.0]
+
+
+def test_timer_rearm_earlier_fires_early():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(3.0)
+    timer.start(1.0)  # earlier: must cancel + re-push
+    assert timer.expires_at == 1.0
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_timer_stop_during_deferral_window():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    timer.start(4.0)  # deadline slides out; heap entry still at t=1.0
+    sim.run(until=2.0)  # the stale entry pops and defers itself
+    assert timer.armed and timer.expires_at == 4.0
+    timer.stop()
+    sim.run()
+    assert fired == []
+    assert not timer.armed
+
+
+def test_timer_heap_bounded_under_repeated_rearm():
+    # Regression for the unbounded-heap bug: a timer re-armed on every
+    # "ACK" must keep O(1) heap entries, not one cancelled entry per ACK.
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    rearms = 5000
+
+    def ack(n: int) -> None:
+        timer.start(10.0)  # watchdog far beyond the next ack
+        if n:
+            sim.schedule(0.001, ack, n - 1)
+
+    ack(rearms)
+    sim.run(until=rearms * 0.001 + 0.5)
+    heap = sim.queue_stats()["heap_size"]
+    assert heap <= 70, f"heap grew to {heap} entries under timer re-arm"
+
+
 def test_periodic_task_fires_at_period():
     sim = Simulator()
     ticks = []

@@ -8,6 +8,7 @@ from repro.sim.stats import (
     Counter,
     RateMeter,
     TimeSeries,
+    aggregate_counters,
     cdf_points,
     percentile,
     summarize,
@@ -71,6 +72,34 @@ def test_percentile_interpolates():
     assert percentile(samples, 1.0) == 10.0
     with pytest.raises(ValueError):
         percentile([], 0.5)
+
+
+def test_percentile_handles_unsorted_input():
+    # Regression: percentile() used to index straight into the caller's
+    # list, silently returning garbage unless it happened to be sorted.
+    unsorted = [9.0, 1.0, 5.0, 3.0, 7.0]
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        assert percentile(unsorted, frac) == percentile(sorted(unsorted), frac)
+    assert percentile([30.0, 10.0], 0.5) == 20.0
+    # The caller's list is not mutated.
+    assert unsorted == [9.0, 1.0, 5.0, 3.0, 7.0]
+
+
+@given(st.lists(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+                min_size=1, max_size=100),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_percentile_order_invariant(samples, frac):
+    assert percentile(samples, frac) == percentile(sorted(samples), frac)
+
+
+def test_aggregate_counters_sums_keywise():
+    merged = aggregate_counters([
+        {"hits": 3, "misses": 1},
+        {"hits": 2, "evictions": 5},
+        {},
+    ])
+    assert merged == {"hits": 5, "misses": 1, "evictions": 5}
+    assert aggregate_counters([]) == {}
 
 
 def test_summarize_basics():

@@ -1,0 +1,163 @@
+"""Unit tests for the forwarding decision cache and its table hooks."""
+
+import pytest
+
+from repro.net import AppData, EthernetFrame, IPv4Packet, UdpDatagram, mac
+from repro.net.addresses import IPv4Address
+from repro.net.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4
+from repro.net.ipv4 import IPPROTO_UDP
+from repro.switching.decision_cache import DecisionCache
+from repro.switching.flow_table import (
+    FlowTable,
+    Match,
+    Output,
+    SelectByHash,
+    decision_key,
+    flow_hash,
+    mac_prefix_mask,
+    resolve_actions,
+)
+
+
+def _udp_frame(dst: str, src_port: int = 1234) -> EthernetFrame:
+    packet = IPv4Packet(IPv4Address(1), IPv4Address(2), IPPROTO_UDP,
+                        UdpDatagram(src_port, 80, AppData(64)))
+    return EthernetFrame(mac(dst), mac("00:07:00:01:00:00"),
+                         ETHERTYPE_IPV4, packet)
+
+
+def _pmac_table() -> FlowTable:
+    table = FlowTable()
+    table.install(Match(ethertype=ETHERTYPE_ARP), (Output(9),), 500, "arp")
+    table.install(Match(eth_dst=mac("00:03:00:01:00:00")), (Output(1),),
+                  400, "host")
+    table.install(Match(eth_dst=mac("00:03:00:00:00:00"),
+                        eth_dst_mask=mac_prefix_mask(24)), (), 200, "drop")
+    table.install(Match(), (SelectByHash((2, 3)),), 100, "up")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Key / resolution helpers
+
+
+def test_decision_key_separates_flows_and_protocols():
+    a = _udp_frame("00:03:00:01:00:00", src_port=1000)
+    b = _udp_frame("00:03:00:01:00:00", src_port=2000)
+    arp = EthernetFrame(mac("00:03:00:01:00:00"), mac("00:07:00:01:00:00"),
+                        ETHERTYPE_ARP, None)
+    assert decision_key(a) != decision_key(b)  # different transport flow
+    assert decision_key(a)[:3] == decision_key(b)[:3]  # same (dst, type, proto)
+    assert decision_key(arp)[1] == ETHERTYPE_ARP
+    assert decision_key(arp)[2] is None
+
+
+def test_decision_key_hash_component_is_flow_hash():
+    frame = _udp_frame("00:03:00:01:00:00")
+    assert decision_key(frame)[3] == flow_hash(frame)
+
+
+def test_resolve_actions_pins_ecmp_choice():
+    frame = _udp_frame("00:03:00:07:00:00")
+    fhash = flow_hash(frame)
+    resolved = resolve_actions((SelectByHash((2, 3, 4)),), fhash)
+    assert resolved == (Output((2, 3, 4)[fhash % 3]),)
+    # Empty ECMP group (prefix unreachable) resolves to no action = drop.
+    assert resolve_actions((SelectByHash(()),), fhash) == ()
+
+
+# ----------------------------------------------------------------------
+# Cache behaviour
+
+
+def test_cache_hit_returns_same_decision_as_walk():
+    table = _pmac_table()
+    cache = DecisionCache(table)
+    frame = _udp_frame("00:03:00:01:00:00")
+    key = decision_key(frame)
+    assert cache.lookup(key) is None
+    entry = table.lookup(frame, 0)
+    decision = cache.install(key, entry)
+    assert cache.lookup(key) == decision
+    assert decision[0] is entry
+    assert cache.hits == 1 and cache.misses == 1 and cache.installs == 1
+
+
+def test_any_table_mutation_flushes_cache():
+    table = _pmac_table()
+    cache = DecisionCache(table)
+    frame = _udp_frame("00:03:00:01:00:00")
+    key = decision_key(frame)
+    cache.install(key, table.lookup(frame, 0))
+
+    table.install(Match(), (Output(5),), 50, "extra")
+    assert cache.lookup(key) is None, "install did not invalidate"
+
+    cache.install(key, table.lookup(frame, 0))
+    table.remove_by_name("extra")
+    assert cache.lookup(key) is None, "remove_by_name did not invalidate"
+
+    cache.install(key, table.lookup(frame, 0))
+    table.remove_where(lambda e: e.name == "up")
+    assert cache.lookup(key) is None, "remove_where did not invalidate"
+
+    table.install(Match(), (SelectByHash((2, 3)),), 100, "up")
+    cache.install(key, table.lookup(frame, 0))
+    table.clear()
+    assert cache.lookup(key) is None, "clear did not invalidate"
+    assert cache.flushes >= 4
+
+
+def test_noop_removals_do_not_bump_version():
+    table = _pmac_table()
+    version = table.version
+    assert table.remove_by_name("no-such-entry") == 0
+    assert table.remove_where(lambda e: False) == 0
+    assert table.version == version
+
+
+def test_cache_safe_tracks_non_key_matches():
+    table = _pmac_table()
+    assert table.cache_safe
+    entry = table.install(Match(in_port=3), (Output(1),), 300, "port-match")
+    assert not table.cache_safe
+    table.remove(entry)
+    assert table.cache_safe
+    table.install(Match(eth_src=mac("00:01:00:00:00:01")), (Output(1),),
+                  300, "src-match")
+    assert not table.cache_safe
+    table.remove_by_name("src-match")
+    assert table.cache_safe
+
+
+def test_capacity_eviction_is_fifo_and_bounded():
+    table = _pmac_table()
+    cache = DecisionCache(table, capacity=4)
+    frames = [_udp_frame("00:03:00:01:00:00", src_port=p)
+              for p in range(1000, 1006)]
+    keys = [decision_key(f) for f in frames]
+    for frame, key in zip(frames, keys):
+        cache.install(key, table.lookup(frame, 0))
+    assert len(cache) == 4
+    assert cache.evictions == 2
+    assert cache.lookup(keys[0]) is None  # oldest two evicted
+    assert cache.lookup(keys[-1]) is not None
+
+
+def test_cache_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        DecisionCache(FlowTable(), capacity=0)
+
+
+def test_stats_snapshot_and_hit_rate():
+    table = _pmac_table()
+    cache = DecisionCache(table)
+    frame = _udp_frame("00:03:00:01:00:00")
+    key = decision_key(frame)
+    cache.lookup(key)
+    cache.install(key, table.lookup(frame, 0))
+    cache.lookup(key)
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["entries"] == 1
+    assert cache.hit_rate == 0.5
