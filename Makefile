@@ -1,6 +1,6 @@
 # Convenience targets for the PortLand reproduction.
 
-.PHONY: install test bench bench-kernel examples lint-clean verify all
+.PHONY: install test bench bench-kernel bench-smoke examples lint-clean verify all
 
 install:
 	pip install -e .
@@ -19,6 +19,11 @@ bench:
 bench-kernel:
 	PYTHONPATH=src pytest benchmarks/bench_sim_kernel.py --benchmark-only \
 		--benchmark-json=BENCH_sim_kernel.json
+
+# Reduced-iteration fast-path ratio gate (no JSON artifact). Also part
+# of the plain tier-1 test run, since it lives under tests/.
+bench-smoke:
+	PYTHONPATH=src pytest tests/test_bench_smoke.py -q
 
 # Fixed-seed invariant fault campaign (see docs/VERIFY.md).
 verify:

@@ -6,9 +6,9 @@ control-plane overhead (LDMs/sec fabric-wide) against detection speed —
 the knob an operator actually turns.
 """
 
-from common import print_header, run_once, save_results
+from common import converged_portland, print_header, run_once, save_results
 
-from repro import LinkParams, PortlandConfig, Simulator, build_portland_fabric
+from repro import PortlandConfig
 from repro.host.apps import UdpStreamReceiver, UdpStreamSender
 from repro.metrics.convergence import convergence_time, measure_outages
 from repro.metrics.tables import format_table
@@ -21,14 +21,8 @@ RATE_PPS = 1000.0
 def one_run(period_ms: float, seed: int):
     config = PortlandConfig(ldm_period_s=period_ms / 1000.0,
                             miss_threshold=MISS_THRESHOLD)
-    sim = Simulator(seed=seed)
-    fabric = build_portland_fabric(
-        sim, k=4, config=config,
-        link_params=LinkParams(carrier_detect=False))
-    fabric.start()
-    fabric.run_until_located()
-    fabric.announce_hosts()
-    fabric.run_until_registered()
+    fabric = converged_portland(seed, k=4, config=config)
+    sim = fabric.sim
 
     hosts = fabric.host_list()
     rx = UdpStreamReceiver(hosts[12], 5001)

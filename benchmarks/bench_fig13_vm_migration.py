@@ -6,9 +6,8 @@ stop-and-copy downtime, then resumes within about one (backed-off) RTO
 of the gratuitous-ARP repoint — the connection itself survives.
 """
 
-from common import print_header, run_once, save_results
+from common import converged_portland, print_header, run_once, save_results
 
-from repro import Simulator, build_portland_fabric
 from repro.host.apps import TcpBulkSender, TcpSink
 from repro.metrics.tables import format_ascii_plot, format_series
 from repro.portland.migration import VmMigration
@@ -20,13 +19,9 @@ DOWNTIME = 0.2
 
 
 def run_experiment(seed=501):
-    sim = Simulator(seed=seed)
-    tree = build_fat_tree(4, hosts_per_edge=1)
-    fabric = build_portland_fabric(sim, tree=tree)
-    fabric.start()
-    fabric.run_until_located()
-    fabric.announce_hosts()
-    fabric.run_until_registered()
+    fabric = converged_portland(seed, carrier=True,
+                                tree=build_fat_tree(4, hosts_per_edge=1))
+    sim = fabric.sim
     hosts = fabric.host_list()
     vm, sender = hosts[7], hosts[0]
     sink = TcpSink(vm, 9000, rate_bin_s=BIN_S)

@@ -9,7 +9,7 @@ harnesses.
 
 import timeit
 
-from common import print_header
+from common import converged_portland, print_header
 
 from repro.net import AppData, EthernetFrame, IPv4Packet, UdpDatagram, mac
 from repro.net.addresses import IPv4Address
@@ -25,9 +25,15 @@ from repro.switching.flow_table import (
     flow_hash,
     mac_prefix_mask,
 )
-from repro.switching.switch import FlowSwitch
-from repro.topology import build_portland_fabric
 from repro.topology.fattree import build_fat_tree
+from repro.workloads.replay import (
+    all_to_all_frames,
+    compile_paths,
+    compiled_signature,
+    decision_signature,
+    replay_compiled,
+    replay_decisions,
+)
 
 EVENTS = 20_000
 
@@ -104,65 +110,13 @@ def test_flow_hash_rate(benchmark):
 # Forwarding fast path: k=8 all-to-all through the real switch pipeline
 
 
-def _converged_k8_fabric(decision_cache_entries: int):
+def _converged_k8_fabric(decision_cache_entries: int,
+                         path_cache_entries: int = 0):
     """A registered k=8 fabric (32 hosts, one per edge switch)."""
-    sim = Simulator(seed=99)
-    config = PortlandConfig(decision_cache_entries=decision_cache_entries)
-    fabric = build_portland_fabric(sim, tree=build_fat_tree(8, hosts_per_edge=1),
-                                   config=config)
-    fabric.start()
-    fabric.run_until_located()
-    fabric.announce_hosts()
-    fabric.run_until_registered()
-    return fabric
-
-
-def _all_to_all_frames(fabric, flows_per_pair: int = 4):
-    """(ingress switch, ingress port, frame) for every ordered host pair,
-    ``flows_per_pair`` distinct UDP flows each, addressed to the PMAC a
-    proxy-ARP reply would hand the sender."""
-    fm = fabric.fabric_manager
-    hosts = fabric.host_list()
-    workload = []
-    for src in hosts:
-        for dst in hosts:
-            if src is dst:
-                continue
-            record = fm.hosts_by_ip[dst.ip]
-            for flow in range(flows_per_pair):
-                packet = IPv4Packet(src.ip, dst.ip, IPPROTO_UDP,
-                                    UdpDatagram(10_000 + flow, 80, AppData(64)))
-                frame = EthernetFrame(record.pmac, src.mac,
-                                      ETHERTYPE_IPV4, packet)
-                ingress = src.nic.peer
-                workload.append((ingress.node, ingress.index, frame))
-    return workload
-
-
-def _replay(workload) -> tuple[int, int]:
-    """Forward every frame hop-by-hop through the real per-switch
-    decision path (``PortlandSwitch._forwarding_decision`` — exactly what
-    ``receive()`` runs), following output ports across the live wiring
-    until the frame leaves on a host port. Returns (hops, delivered)."""
-    hops = 0
-    delivered = 0
-    for node, in_index, frame in workload:
-        while True:
-            _entry, actions = node._forwarding_decision(frame, in_index)
-            hops += 1
-            out = None
-            for action in actions:
-                if type(action) is Output:
-                    out = action.port
-                elif type(action) is SelectByHash:
-                    out = action.ports[flow_hash(frame) % len(action.ports)]
-            peer = node.ports[out].peer
-            if isinstance(peer.node, FlowSwitch):
-                node, in_index = peer.node, peer.index
-            else:
-                delivered += 1
-                break
-    return hops, delivered
+    return converged_portland(
+        99, carrier=True, tree=build_fat_tree(8, hosts_per_edge=1),
+        config=PortlandConfig(decision_cache_entries=decision_cache_entries,
+                              path_cache_entries=path_cache_entries))
 
 
 def test_forwarding_fast_path_k8_all_to_all(benchmark):
@@ -170,19 +124,19 @@ def test_forwarding_fast_path_k8_all_to_all(benchmark):
     a k=8 all-to-all workload, with identical forwarding decisions."""
     baseline = _converged_k8_fabric(decision_cache_entries=0)
     cached = _converged_k8_fabric(decision_cache_entries=4096)
-    workload_base = _all_to_all_frames(baseline)
-    workload_cached = _all_to_all_frames(cached)
+    workload_base = all_to_all_frames(baseline)
+    workload_cached = all_to_all_frames(cached)
 
     # Warm both (fills the caches) and cross-check every path end-to-end.
-    result_base = _replay(workload_base)
-    result_cached = _replay(workload_cached)
+    result_base = replay_decisions(workload_base)
+    result_cached = replay_decisions(workload_cached)
     assert result_base == result_cached, "cache changed forwarding behaviour"
     hops, delivered = result_cached
     assert delivered == len(workload_cached), "all-to-all not fully delivered"
 
-    base_s = min(timeit.repeat(lambda: _replay(workload_base),
+    base_s = min(timeit.repeat(lambda: replay_decisions(workload_base),
                                number=1, repeat=5))
-    benchmark(lambda: _replay(workload_cached))
+    benchmark(lambda: replay_decisions(workload_cached))
     cached_s = benchmark.stats.stats.min
     speedup = base_s / cached_s
     final = cached.decision_cache_stats()
@@ -195,3 +149,41 @@ def test_forwarding_fast_path_k8_all_to_all(benchmark):
         f"hit rate {hit_rate:.1%})")
     assert speedup >= 1.5, (
         f"decision cache speedup {speedup:.2f}x below the 1.5x floor")
+
+
+def test_compiled_path_fast_path_k8_all_to_all(benchmark):
+    """PathCache acceptance: >= 3x over the decision-cached (PR-3)
+    baseline on the same k=8 all-to-all replay, with every compiled hop
+    sequence identical to the per-switch decision walk."""
+    cached = _converged_k8_fabric(decision_cache_entries=4096)
+    compiled = _converged_k8_fabric(decision_cache_entries=4096,
+                                    path_cache_entries=4096)
+    workload_cached = all_to_all_frames(cached)
+    workload_compiled = all_to_all_frames(compiled)
+
+    # Warm both layers, then cross-check every flow's compiled hop
+    # sequence against the interpreted decision walk on the same fabric.
+    replay_decisions(workload_cached)
+    assert compile_paths(compiled, workload_compiled) == len(workload_compiled)
+    for node, in_index, frame in workload_compiled:
+        assert (compiled_signature(node, in_index, frame)
+                == decision_signature(node, in_index, frame)), (
+            "compiled path diverges from the per-switch decision walk")
+    result_compiled = replay_compiled(workload_compiled)
+    assert result_compiled == replay_decisions(workload_compiled)
+    hops, delivered = result_compiled
+    assert delivered == len(workload_compiled)
+
+    base_s = min(timeit.repeat(lambda: replay_decisions(workload_cached),
+                               number=1, repeat=5))
+    benchmark(lambda: replay_compiled(workload_compiled))
+    compiled_s = benchmark.stats.stats.min
+    speedup = base_s / compiled_s
+    stats = compiled.path_cache_stats()
+    assert stats["compiles"] > 0, "path cache never engaged"
+    print_header(
+        f"CUT-THROUGH - k=8 all-to-all, {len(workload_compiled):,} flows, "
+        f"{hops:,} hops: {hops / compiled_s:,.0f} hops/s compiled vs "
+        f"{hops / base_s:,.0f} decision-cached ({speedup:.2f}x)")
+    assert speedup >= 3.0, (
+        f"compiled-path speedup {speedup:.2f}x below the 3x floor")

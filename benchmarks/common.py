@@ -13,16 +13,29 @@ from repro import LinkParams, Simulator, build_portland_fabric
 from repro.topology.builder import PortlandFabric
 
 
+def converge(fabric: PortlandFabric,
+             timeout_s: float = 5.0) -> tuple[float, float]:
+    """Start a built fabric and run it to full discovery + registration.
+
+    Returns (located_at, registered_at) in simulated seconds — the
+    bring-up timeline the scalability sweep reports.
+    """
+    fabric.start()
+    located = fabric.run_until_located(timeout_s=timeout_s)
+    fabric.announce_hosts()
+    registered = fabric.run_until_registered(timeout_s=timeout_s)
+    return located, registered
+
+
 def converged_portland(seed: int, k: int = 4, carrier: bool = False,
-                       tree=None) -> PortlandFabric:
+                       tree=None, config=None,
+                       timeout_s: float = 5.0) -> PortlandFabric:
     """A fully discovered + registered PortLand fabric."""
     sim = Simulator(seed=seed)
     fabric = build_portland_fabric(
-        sim, k=k, link_params=LinkParams(carrier_detect=carrier), tree=tree)
-    fabric.start()
-    fabric.run_until_located()
-    fabric.announce_hosts()
-    fabric.run_until_registered()
+        sim, k=k, config=config,
+        link_params=LinkParams(carrier_detect=carrier), tree=tree)
+    converge(fabric, timeout_s=timeout_s)
     return fabric
 
 

@@ -137,7 +137,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     config = CampaignConfig(
         scenarios=args.scenarios, seed=args.seed,
-        ks=tuple(args.k), steps=args.steps)
+        ks=tuple(args.k), steps=args.steps,
+        path_cache_entries=4096 if args.path_cache else 0)
     report = run_campaign(config, log=print if not args.quiet else None)
     print(format_table(
         ["seed", "k", "steps", "hops", "violations", "verdict"],
@@ -187,6 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenarios", type=int, default=25)
     p.add_argument("--k", type=int, nargs="+", default=[4],
                    help="fat-tree degrees to draw scenarios from")
+    p.add_argument("--path-cache", action="store_true",
+                   help="enable the compiled-path (cut-through) fast path "
+                        "in every scenario fabric")
     p.add_argument("--steps", type=int, default=4,
                    help="random fault/migration steps per scenario")
     p.add_argument("--quiet", action="store_true",

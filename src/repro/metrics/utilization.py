@@ -4,6 +4,11 @@ Answers "where did the bytes go?" for any fabric: per-link byte counts,
 per-layer aggregates (host↔edge, edge↔agg, agg↔core), and utilization
 relative to capacity over a measurement window. Used by the shuffle
 analyses and handy when debugging load imbalance.
+
+Port counters include compiled cut-through traversals: when the path
+cache is enabled (see ``docs/PERF.md``), launched frames charge every
+traversed port at launch time, so these aggregates stay accurate even
+though no per-hop link events ran.
 """
 
 from __future__ import annotations

@@ -18,7 +18,7 @@ from repro.errors import AddressError
 class MacAddress:
     """An EUI-48 MAC address."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_bytes", "_str")
 
     MAX = (1 << 48) - 1
     #: Bit 40 (the I/G bit of the first octet) marks group addresses.
@@ -30,6 +30,11 @@ class MacAddress:
         if not 0 <= value <= self.MAX:
             raise AddressError(f"MAC value out of range: {value:#x}")
         self._value = value
+        # Lazily memoised encodings: the flow hash re-reads to_bytes()
+        # on every uncached decision and traces stringify addresses per
+        # record, but the value is immutable so both are computed once.
+        self._bytes: bytes | None = None
+        self._str: str | None = None
 
     @classmethod
     def parse(cls, text: str) -> "MacAddress":
@@ -76,12 +81,18 @@ class MacAddress:
         return bool(self._value & self._LOCAL_BIT)
 
     def to_bytes(self) -> bytes:
-        """Six-byte big-endian encoding."""
-        return self._value.to_bytes(6, "big")
+        """Six-byte big-endian encoding (memoised)."""
+        raw = self._bytes
+        if raw is None:
+            raw = self._bytes = self._value.to_bytes(6, "big")
+        return raw
 
     def __str__(self) -> str:
-        raw = self.to_bytes()
-        return ":".join(f"{octet:02x}" for octet in raw)
+        text = self._str
+        if text is None:
+            raw = self.to_bytes()
+            text = self._str = ":".join(f"{octet:02x}" for octet in raw)
+        return text
 
     def __repr__(self) -> str:
         return f"MacAddress('{self}')"

@@ -39,7 +39,8 @@ ETHERNET_MTU = 1500
 class EthernetFrame(Packet):
     """An Ethernet II frame, optionally 802.1Q-tagged."""
 
-    __slots__ = ("dst", "src", "ethertype", "payload", "vlan", "_fwd_memo")
+    __slots__ = ("dst", "src", "ethertype", "payload", "vlan", "_fwd_memo",
+                 "_wire_len")
 
     def __init__(
         self,
@@ -64,6 +65,13 @@ class EthernetFrame(Packet):
         # src/dst/ethertype on every read so header rewrites can never
         # serve a stale key.
         self._fwd_memo: tuple | None = None
+        # Memoised wire_length(): read per hop (entry counters, port
+        # counters, serialization time) but constant per frame — the
+        # payload is immutable once sent and header rewrites never change
+        # the length (only the VLAN tag could, and it is fixed at
+        # construction). copy() carries the memo, which stays valid
+        # because copies share the payload.
+        self._wire_len: int | None = None
 
     def header_length(self) -> int:
         """Bytes of framing overhead (header + FCS + any VLAN tag)."""
@@ -74,7 +82,12 @@ class EthernetFrame(Packet):
 
     def wire_length(self) -> int:
         """Frame size on the wire, including minimum-frame padding."""
-        return max(self.header_length() + payload_length(self.payload), ETHERNET_MIN_FRAME)
+        length = self._wire_len
+        if length is None:
+            length = self._wire_len = max(
+                self.header_length() + payload_length(self.payload),
+                ETHERNET_MIN_FRAME)
+        return length
 
     def encode(self) -> bytes:
         """Wire bytes (FCS rendered as four zero bytes; padding applied)."""

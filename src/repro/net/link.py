@@ -141,6 +141,14 @@ class Link:
         #: failures; see :meth:`fail_direction`).
         self._failed_tx: set[int] = set()
         self.name = name or f"{a.name}<->{b.name}"
+        # Per-byte serialization cost, fixed at construction so the hot
+        # path multiplies instead of recomputing from the bandwidth on
+        # every frame.
+        self._sec_per_byte = 8.0 / rate_bps
+        #: Listeners called (no arguments) after any carrier-state change:
+        #: fail, fail_direction, recover, detach. Compiled-path caches use
+        #: this to retire paths that traverse the link.
+        self._state_listeners: list = []
         #: Random per-frame drop probability (0 = perfect link).
         self.loss_rate = loss_rate
         self._loss_rng = (sim.random.stream(f"link-loss/{self.name}")
@@ -163,8 +171,21 @@ class Link:
 
     def serialization_time(self, frame: EthernetFrame) -> float:
         """Seconds to clock ``frame`` (plus preamble/IFG) onto the wire."""
-        bits = (frame.wire_length() + PER_FRAME_OVERHEAD_BYTES) * 8
-        return bits / self.rate_bps
+        return (frame.wire_length() + PER_FRAME_OVERHEAD_BYTES) * self._sec_per_byte
+
+    def add_state_listener(self, listener) -> None:
+        """Call ``listener()`` after every carrier-state change of this
+        link (fail/fail_direction/recover/detach)."""
+        self._state_listeners.append(listener)
+
+    def can_carry(self, src_port: Port) -> bool:
+        """Whether a frame transmitted from ``src_port`` would currently
+        traverse (no full or ``src_port``-direction failure)."""
+        return not self.failed and id(src_port) not in self._failed_tx
+
+    def _notify_state(self) -> None:
+        for listener in self._state_listeners:
+            listener()
 
     def transmit(self, src_port: Port, frame: EthernetFrame) -> bool:
         """Send ``frame`` from ``src_port`` toward the other end."""
@@ -235,6 +256,7 @@ class Link:
             direction.queued_bytes = 0
             direction.transmitting = False
         self.sim.trace.emit(self.sim.now, "link.fail", self.name)
+        self._notify_state()
         if self.carrier_detect:
             # High priority so agents observe the loss before packets that
             # would otherwise arrive "at the same instant".
@@ -256,6 +278,7 @@ class Link:
         direction.transmitting = False
         self.sim.trace.emit(self.sim.now, "link.fail_direction", self.name,
                             from_port=src_port.name)
+        self._notify_state()
 
     def recover(self) -> None:
         """Restore a failed link (full or unidirectional). Idempotent."""
@@ -266,6 +289,7 @@ class Link:
         fully_failed = self.failed
         self.failed = False
         self.sim.trace.emit(self.sim.now, "link.recover", self.name)
+        self._notify_state()
         if fully_failed and self.carrier_detect:
             self.sim.schedule(0.0, self._notify_up, priority=PRIORITY_HIGH)
 
@@ -279,6 +303,9 @@ class Link:
             self.fail()
         self.a.link = None
         self.b.link = None
+        # fail() already notified if the link was up; notify again so
+        # listeners observe the unwiring even on an already-failed link.
+        self._notify_state()
 
     def _notify_down(self) -> None:
         for port in (self.a, self.b):

@@ -275,6 +275,11 @@ class PortlandAgent(SwitchAgent):
         self._reported_failed[port_index] = info.switch_id
         self.send_to_fm(LinkFail(self.switch_id, port_index, info.switch_id))
         self._refresh_entries()
+        # Same rationale as Disable/EnableLink: a lost neighbour can
+        # leave the refreshed table byte-identical (e.g. a core whose
+        # per-pod entry survives on another link), yet decisions and
+        # compiled paths made while it was alive must not outlive it.
+        self.switch.flush_decisions("neighbor-lost")
 
     def request_pod(self) -> None:
         self.send_to_fm(PodRequest(self.switch_id))

@@ -33,6 +33,13 @@ class PortlandConfig:
     #: Per-switch forwarding decision-cache capacity (0 disables the
     #: fast path and forces the full LPM walk on every packet).
     decision_cache_entries: int = 4096
+    #: Per-ingress-switch compiled-path cache capacity (0 — the default —
+    #: disables end-to-end cut-through transit). When enabled, cached
+    #: flows are delivered by one composite event that skips per-hop
+    #: queueing/contention; turn it on for experiments where forwarding
+    #: throughput matters more than in-fabric queueing fidelity (see
+    #: docs/PERF.md).
+    path_cache_entries: int = 0
     #: Debounce for neighbor reports to the fabric manager.
     report_debounce_s: float = 0.005
 

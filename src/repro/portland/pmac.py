@@ -38,6 +38,11 @@ PORT_PREFIX_LEN = POD_BITS + POSITION_BITS + PORT_BITS
 #: are rejected, since a multicast PMAC could never be forwarded unicast.
 _POD_IG_BIT = 1 << 8
 
+#: Bounded memo for :meth:`Pmac.from_mac` (cleared wholesale when full;
+#: decoded values are immutable so staleness is impossible).
+_DECODE_CACHE: dict[int, "Pmac"] = {}
+_DECODE_CACHE_MAX = 1 << 16
+
 
 @dataclass(frozen=True, order=True)
 class Pmac:
@@ -63,25 +68,45 @@ class Pmac:
             raise AddressError(f"vmid out of range: {self.vmid}")
 
     def to_mac(self) -> MacAddress:
-        """Render as an Ethernet address."""
-        value = (
-            (self.pod << (POSITION_BITS + PORT_BITS + VMID_BITS))
-            | (self.position << (PORT_BITS + VMID_BITS))
-            | (self.port << VMID_BITS)
-            | self.vmid
-        )
-        return MacAddress(value)
+        """Render as an Ethernet address (memoised on the instance)."""
+        cached = self.__dict__.get("_mac")
+        if cached is None:
+            value = (
+                (self.pod << (POSITION_BITS + PORT_BITS + VMID_BITS))
+                | (self.position << (PORT_BITS + VMID_BITS))
+                | (self.port << VMID_BITS)
+                | self.vmid
+            )
+            cached = MacAddress(value)
+            # The dataclass is frozen but not slotted, so an extra cache
+            # attribute works; it never participates in eq/hash/order.
+            object.__setattr__(self, "_mac", cached)
+        return cached
 
     @classmethod
     def from_mac(cls, mac: MacAddress) -> "Pmac":
-        """Parse an Ethernet address as a PMAC."""
+        """Parse an Ethernet address as a PMAC.
+
+        Decodes are memoised by MAC value: a fabric re-decodes the same
+        few thousand PMACs on every ARP proxy hit and forwarding-entry
+        refresh, so the field extraction is paid once per address.
+        """
         value = mac.value
-        return cls(
+        if cls is Pmac:
+            cached = _DECODE_CACHE.get(value)
+            if cached is not None:
+                return cached
+        pmac = cls(
             pod=(value >> (POSITION_BITS + PORT_BITS + VMID_BITS)) & MAX_POD,
             position=(value >> (PORT_BITS + VMID_BITS)) & MAX_POSITION,
             port=(value >> VMID_BITS) & MAX_PORT,
             vmid=value & MAX_VMID,
         )
+        if cls is Pmac:
+            if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+                _DECODE_CACHE.clear()
+            _DECODE_CACHE[value] = pmac
+        return pmac
 
     def __str__(self) -> str:
         return f"pmac({self.pod}.{self.position}.{self.port}.{self.vmid})"

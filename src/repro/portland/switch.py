@@ -27,6 +27,7 @@ from repro.net.ethernet import ETHERTYPE_LDP, EthernetFrame
 from repro.net.link import Port
 from repro.sim.simulator import Simulator
 from repro.switching.decision_cache import DEFAULT_CAPACITY, DecisionCache
+from repro.switching.path_cache import PathCache
 from repro.switching.flow_table import (
     FlowEntry,
     FlowTable,
@@ -65,6 +66,12 @@ class PortlandSwitch(FlowSwitch):
             self.decision_cache = DecisionCache(self.table,
                                                 decision_cache_entries)
             self.decision_cache.on_flush = self._trace_cache_flush
+        #: Shared fabric-level compiled-path cache (wired by the topology
+        #: builder when ``PortlandConfig.path_cache_entries > 0``).
+        self.path_cache: PathCache | None = None
+        #: Per-ingress compiled paths, keyed (in_port, decision key);
+        #: owned and indexed by :attr:`path_cache`.
+        self._path_table: dict = {}
 
     def attach_control_port(self) -> Port:
         """Add the out-of-band port that connects to the fabric manager."""
@@ -93,6 +100,18 @@ class PortlandSwitch(FlowSwitch):
                 self.apply_actions(current, in_port, rewrite.actions)
                 return
             current = self._apply_rewrites(current, rewrite.actions)
+
+        path_cache = self.path_cache
+        if path_cache is not None:
+            # Compiled cut-through transit: only for frames entering the
+            # fabric from an attached host (switch-to-switch arrivals are
+            # mid-path hops of interpreted frames).
+            peer = in_port.peer
+            if peer is not None and not isinstance(peer.node, FlowSwitch):
+                path = path_cache.resolve(self, current, in_port.index)
+                if path is not None:
+                    path_cache.launch(path, current)
+                    return
 
         entry, actions = self._forwarding_decision(current, in_port.index)
         if entry is None:
@@ -143,9 +162,16 @@ class PortlandSwitch(FlowSwitch):
         return cache.install(key, entry)
 
     def flush_decisions(self, reason: str = "explicit") -> None:
-        """Drop all cached forwarding decisions (control-plane hook)."""
+        """Drop all cached forwarding decisions (control-plane hook).
+
+        Fans out to the fabric-level path cache: every compiled path
+        traversing this switch was derived from the decisions being
+        flushed, so it dies with them.
+        """
         if self.decision_cache is not None:
             self.decision_cache.invalidate_all(reason)
+        if self.path_cache is not None:
+            self.path_cache.invalidate_switch(self, reason)
 
     def _trace_cache_flush(self, reason: str) -> None:
         if self.sim.trace.wants("switch.cache_flush"):

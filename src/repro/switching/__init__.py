@@ -15,6 +15,7 @@ from repro.switching.flow_table import (
     mac_prefix_mask,
 )
 from repro.switching.l3router import L3Router, Subnet
+from repro.switching.path_cache import CompiledPath, PathCache
 from repro.switching.learning import LearningSwitch
 from repro.switching.linkstate import LinkStateDatabase, Lsa, shortest_paths
 from repro.switching.stp import Bpdu, BridgeId, PortState, StpProcess
@@ -24,6 +25,7 @@ __all__ = [
     "Action",
     "Bpdu",
     "BridgeId",
+    "CompiledPath",
     "FlowEntry",
     "FlowSwitch",
     "FlowTable",
@@ -34,6 +36,7 @@ __all__ = [
     "Match",
     "Output",
     "OutputMany",
+    "PathCache",
     "PortState",
     "SelectByHash",
     "SetEthDst",

@@ -1,0 +1,432 @@
+"""Fabric-level compiled-path cache: cut-through transit for cached flows.
+
+PortLand forwarding is deterministic once PMAC prefixes, fault
+overrides, and the flow hash are fixed: a frame's entire
+edge→agg→core→agg→edge hop sequence is a pure function of fabric state.
+The per-switch :class:`~repro.switching.decision_cache.DecisionCache`
+already memoises each hop's verdict, but the simulator still pays one
+scheduled event and one Python dispatch per switch per frame. A
+:class:`PathCache` extends the memo from one switch to the whole path —
+the megaflow idea of OpenFlow-style datapaths applied end-to-end.
+
+On the first cache-safe frame of a flow at its ingress edge switch, the
+cache *compiles* the path: it dry-walks the per-switch stage-2 verdicts
+(warming the decision caches as it goes), recording for every hop the
+switch, ingress/egress port indices, matched entry, and traversed link,
+plus the net header rewrites (ingress AMAC→PMAC was already applied by
+the caller; the egress PMAC→AMAC rewrite is captured from the final
+``host:`` entry). Subsequent frames with the same ``(ingress port,
+decision key)`` are *launched*: every traversed entry and port counter
+is charged, a ``verify.hop`` trace record is synthesized per hop with
+the exact timestamp interpreted forwarding would have produced, and one
+composite event delivers the frame to the destination host after the
+sum of per-link serialization + propagation delays.
+
+What compiled transit deliberately does **not** model is contention
+*inside* the fabric: a launched frame never queues behind another frame
+on a switch-to-switch link (its latency is the uncongested sum of link
+delays), never experiences a drop-tail loss mid-path, and is not
+re-examined by intermediate switches. That is the cut-through
+approximation; workloads that need queueing fidelity leave the cache
+off (it is disabled by default — see ``PortlandConfig.path_cache_entries``).
+
+Compilation refuses (and caches a negative verdict) whenever any hop is
+not provably pure: a non-``cache_safe`` table, an rx tap, a mid-path
+rewrite-table match, punts/multicast/empty actions, a reflected output,
+a down/disabled/unwired port, or a lossy link. Negative verdicts are
+registered against everything walked, so the state change that makes the
+path compilable retires them too.
+
+Invalidation mirrors the decision cache exactly, per path:
+
+* every flow-table **and** rewrite-table mutation of any switch on the
+  path (change listeners);
+* explicit agent flushes (``PortlandSwitch.flush_decisions`` fans out to
+  ``invalidate_switch`` — FaultUpdate/FaultClear, Disable/EnableLink,
+  neighbour loss);
+* carrier-state changes of any traversed link
+  (``Link.add_state_listener`` — fail, fail_direction, recover, detach).
+
+A frame already launched when its path is invalidated is handled like an
+in-flight frame: at delivery time the stored hops are revalidated
+against the physical links; if every link is still up the frame arrives
+(a table-only change cannot un-send it), otherwise it is dropped and
+counted at the first dead hop's transmit port.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.switching.flow_table import (
+    Output,
+    SetEthDst,
+    SetEthSrc,
+    decision_key,
+    resolve_actions,
+)
+from repro.switching.switch import FlowSwitch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.ethernet import EthernetFrame
+    from repro.net.link import Port
+    from repro.sim.simulator import Simulator
+
+#: Default per-ingress-switch capacity (same sizing as the decision cache).
+DEFAULT_PATH_CAPACITY = 4096
+
+#: Dry-walk depth bound. A fat-tree path is at most 5 links end to end;
+#: anything longer indicates a loop or a topology this cache should not
+#: second-guess.
+MAX_PATH_HOPS = 16
+
+
+class CompiledHop:
+    """One traversed switch on a compiled path."""
+
+    __slots__ = ("switch_name", "in_index", "out_index", "entry_name",
+                 "link", "out_port", "rx_port")
+
+    def __init__(self, switch_name, in_index, out_index, entry_name,
+                 link, out_port, rx_port) -> None:
+        self.switch_name = switch_name
+        self.in_index = in_index
+        self.out_index = out_index
+        self.entry_name = entry_name
+        self.link = link
+        self.out_port = out_port
+        self.rx_port = rx_port
+
+
+class CompiledPath:
+    """A fully compiled ingress→host path (or a negative verdict).
+
+    A negative verdict (``final_port is None``) records that this key is
+    not compilable under the current fabric state; it is registered
+    against everything the failed dry-walk visited so the next relevant
+    state change retires it.
+    """
+
+    __slots__ = ("key", "ingress", "hops", "links", "entries",
+                 "tx_counters", "rx_counters", "switches",
+                 "final_port", "final_dst", "final_src", "alive")
+
+    def __init__(self, key, ingress, hops, links, entries, tx_counters,
+                 rx_counters, switches, final_port, final_dst,
+                 final_src) -> None:
+        self.key = key
+        self.ingress = ingress
+        self.hops = hops
+        self.links = links
+        self.entries = entries
+        self.tx_counters = tx_counters
+        self.rx_counters = rx_counters
+        self.switches = switches
+        self.final_port = final_port
+        self.final_dst = final_dst
+        self.final_src = final_src
+        self.alive = True
+
+    @property
+    def compiled(self) -> bool:
+        """False for a negative (uncompilable) verdict."""
+        return self.final_port is not None
+
+
+class PathCache:
+    """Shared compiled-path cache for one fabric.
+
+    One instance serves every switch of a fabric (the builder wires it
+    up); per-ingress lookup tables live on the switches
+    (``PortlandSwitch._path_table``) so the hot probe is a plain dict
+    access, while registration/invalidation indexes live here.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 capacity: int = DEFAULT_PATH_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self._capacity = capacity
+        # path registration indexes: everything that must die when a
+        # switch's tables or a link's carrier state change.
+        self._by_switch: dict = {}
+        self._by_link: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.no_path_hits = 0
+        self.compiles = 0
+        self.compile_failures = 0
+        self.launches = 0
+        self.delivered = 0
+        self.dropped_in_flight = 0
+        self.invalidated = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Hot path
+
+    def resolve(self, switch, frame: "EthernetFrame",
+                in_index: int) -> CompiledPath | None:
+        """The compiled path for ``frame`` entering ``switch`` on
+        ``in_index``, compiling on first use. ``None`` means this frame
+        must take the interpreted per-hop path."""
+        key = (in_index, decision_key(frame))
+        table = switch._path_table
+        path = table.get(key)
+        if path is not None:
+            if path.final_port is None:
+                self.no_path_hits += 1
+                return None
+            self.hits += 1
+            return path
+        self.misses += 1
+        if not switch.table.cache_safe:
+            return None
+        path = self._compile(switch, frame, in_index, key)
+        if len(table) >= self._capacity:
+            self._kill(next(iter(table.values())))
+            self.evictions += 1
+        table[key] = path
+        self._register(path)
+        return path if path.final_port is not None else None
+
+    def launch(self, path: CompiledPath, frame: "EthernetFrame") -> None:
+        """Send ``frame`` down ``path`` as one composite event.
+
+        Charges every traversed flow entry and port counter now (the
+        cut-through equivalent of per-hop ``touch``/tx/rx accounting),
+        synthesizes the per-hop ``verify.hop`` records interpreted
+        forwarding would have emitted — with identical timestamps, since
+        the accumulated time uses the same float operations as
+        ``Link._start_transmission`` — and schedules a single delivery at
+        the path's total latency.
+        """
+        wire_len = frame.wire_length()
+        for entry in path.entries:
+            entry.packets += 1
+            entry.bytes += wire_len
+        for counters in path.tx_counters:
+            counters.tx_frames += 1
+            counters.tx_bytes += wire_len
+        for counters in path.rx_counters:
+            counters.rx_frames += 1
+            counters.rx_bytes += wire_len
+        sim = self.sim
+        trace = sim.trace
+        time = sim.now
+        if trace.wants("verify.hop"):
+            payload = frame.payload
+            dst = frame.dst.value
+            ethertype = frame.ethertype
+            for hop in path.hops:
+                trace.emit(time, "verify.hop", hop.switch_name,
+                           payload=payload, dst=dst, ethertype=ethertype,
+                           entry=hop.entry_name, in_port=hop.in_index)
+                time = time + (hop.link.serialization_time(frame)
+                               + hop.link.delay_s)
+        else:
+            for hop in path.hops:
+                time = time + (hop.link.serialization_time(frame)
+                               + hop.link.delay_s)
+        self.launches += 1
+        sim.schedule_at(time, self._complete, path, frame)
+
+    def _complete(self, path: CompiledPath, frame: "EthernetFrame") -> None:
+        """Composite delivery: apply the egress rewrites and hand the
+        frame to the destination host.
+
+        If the path was invalidated while this frame was in flight, the
+        stored hops are revalidated against the physical links: a dead
+        link anywhere drops the frame (counted at that hop's transmit
+        port, as interpreted forwarding would); a purely table-driven
+        invalidation lets the frame complete, exactly like a frame
+        already serialized onto the wire.
+        """
+        if not path.alive:
+            for hop in path.hops:
+                link = hop.link
+                if (hop.out_port.link is not link or not hop.out_port.enabled
+                        or not link.can_carry(hop.out_port)
+                        or not hop.rx_port.enabled):
+                    hop.out_port.counters.drops += 1
+                    self.dropped_in_flight += 1
+                    return
+        delivered = frame.copy()
+        if path.final_dst is not None:
+            delivered.dst = path.final_dst
+        if path.final_src is not None:
+            delivered.src = path.final_src
+        self.delivered += 1
+        path.final_port.node.receive(delivered, path.final_port)
+
+    # ------------------------------------------------------------------
+    # Compilation
+
+    def _compile(self, ingress, frame: "EthernetFrame", in_index: int,
+                 key) -> CompiledPath:
+        """Dry-walk the per-switch verdicts from ``ingress`` to a host
+        port, or return a negative verdict at the first impure hop."""
+        self.compiles += 1
+        probe = frame.copy()
+        start_dst = probe.dst
+        start_src = probe.src
+        hops: list[CompiledHop] = []
+        entries: list = []
+        switches = [ingress]
+        links: list = []
+        node = ingress
+        index = in_index
+        final_port: "Port | None" = None
+        for _depth in range(MAX_PATH_HOPS):
+            if (not node.table.cache_safe or node.rx_tap is not None
+                    or (node is not ingress
+                        and node.rewrite_table.lookup(probe, index) is not None)):
+                break
+            entry, actions = node._forwarding_decision(probe, index)
+            if entry is None:
+                break
+            actions = resolve_actions(actions, decision_key(probe)[3])
+            out = None
+            rewrites = []
+            pure = True
+            last = len(actions) - 1
+            for position, action in enumerate(actions):
+                kind = type(action)
+                if kind is Output:
+                    # Must terminate the list: interpreted forwarding
+                    # applies actions in order, so a rewrite after the
+                    # Output would not be on the transmitted frame.
+                    if position != last:
+                        pure = False
+                    out = action.port
+                elif kind is SetEthDst or kind is SetEthSrc:
+                    rewrites.append(action)
+                else:
+                    # ToAgent / OutputMany / unresolved SelectByHash:
+                    # software or replication — never compiled.
+                    pure = False
+                    break
+            if not pure or out is None or out == index:
+                break
+            for action in rewrites:
+                if type(action) is SetEthDst:
+                    probe.dst = action.mac
+                else:
+                    probe.src = action.mac
+            port = node.ports[out]
+            link = port.link
+            if (link is None or not port.enabled or not link.can_carry(port)
+                    or link.loss_rate > 0):
+                break
+            rx_port = link.other_end(port)
+            if not rx_port.enabled:
+                break
+            hops.append(CompiledHop(node.name, index, out, entry.name,
+                                    link, port, rx_port))
+            entries.append(entry)
+            links.append(link)
+            nxt = rx_port.node
+            if isinstance(nxt, FlowSwitch):
+                if nxt in switches:  # forwarding loop: never compile
+                    break
+                if (getattr(nxt, "_forwarding_decision", None) is None
+                        or getattr(nxt, "rewrite_table", None) is None):
+                    break  # not a two-stage PortLand pipeline
+                switches.append(nxt)
+                node, index = nxt, rx_port.index
+                continue
+            final_port = rx_port
+            break
+
+        if final_port is None:
+            self.compile_failures += 1
+            return CompiledPath(key, ingress, (), tuple(links), (), (), (),
+                                tuple(switches), None, None, None)
+        return CompiledPath(
+            key, ingress, tuple(hops), tuple(links), tuple(entries),
+            tuple(hop.out_port.counters for hop in hops),
+            tuple(hop.rx_port.counters for hop in hops),
+            tuple(switches), final_port,
+            probe.dst if probe.dst.value != start_dst.value else None,
+            probe.src if probe.src.value != start_src.value else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Registration and invalidation
+
+    def _register(self, path: CompiledPath) -> None:
+        for switch in path.switches:
+            bucket = self._by_switch.get(switch)
+            if bucket is None:
+                bucket = self._by_switch[switch] = set()
+                switch.table.add_change_listener(
+                    lambda s=switch: self._on_switch_change(s))
+                switch.rewrite_table.add_change_listener(
+                    lambda s=switch: self._on_switch_change(s))
+            bucket.add(path)
+        for link in path.links:
+            bucket = self._by_link.get(link)
+            if bucket is None:
+                bucket = self._by_link[link] = set()
+                link.add_state_listener(
+                    lambda l=link: self._on_link_change(l))
+            bucket.add(path)
+
+    def _kill(self, path: CompiledPath) -> None:
+        path.alive = False
+        table = path.ingress._path_table
+        if table.get(path.key) is path:
+            del table[path.key]
+        for switch in path.switches:
+            bucket = self._by_switch.get(switch)
+            if bucket is not None:
+                bucket.discard(path)
+        for link in path.links:
+            bucket = self._by_link.get(link)
+            if bucket is not None:
+                bucket.discard(path)
+
+    def invalidate_switch(self, switch, reason: str = "flush") -> int:
+        """Retire every path traversing ``switch`` (the
+        ``flush_decisions`` fan-out and table-change hook)."""
+        return self._invalidate(self._by_switch.get(switch), switch.name,
+                                reason)
+
+    def _on_switch_change(self, switch) -> None:
+        self._invalidate(self._by_switch.get(switch), switch.name,
+                         "table-change")
+
+    def _on_link_change(self, link) -> None:
+        self._invalidate(self._by_link.get(link), link.name, "link-state")
+
+    def _invalidate(self, bucket, source: str, reason: str) -> int:
+        if not bucket:
+            return 0
+        killed = len(bucket)
+        for path in list(bucket):
+            self._kill(path)
+        self.invalidated += killed
+        trace = self.sim.trace
+        if trace.wants("switch.path_flush"):
+            trace.emit(self.sim.now, "switch.path_flush", source,
+                       reason=reason, killed=killed)
+        return killed
+
+    # ------------------------------------------------------------------
+    # Observability
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (aggregatable via ``stats.aggregate_counters``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "no_path_hits": self.no_path_hits,
+            "compiles": self.compiles,
+            "compile_failures": self.compile_failures,
+            "launches": self.launches,
+            "delivered": self.delivered,
+            "dropped_in_flight": self.dropped_in_flight,
+            "invalidated": self.invalidated,
+            "evictions": self.evictions,
+        }

@@ -14,6 +14,7 @@ from repro.portland.control import ControlNetwork
 from repro.portland.fabric_manager import FabricManager
 from repro.portland.switch import PortlandSwitch
 from repro.sim.simulator import Simulator
+from repro.switching.path_cache import PathCache
 from repro.topology.fattree import FatTree, build_fat_tree
 
 
@@ -44,6 +45,8 @@ class PortlandFabric:
     links: dict[tuple[str, str], Link] = field(default_factory=dict)
     fabric_manager: FabricManager | None = None
     control: ControlNetwork | None = None
+    #: Shared compiled-path cache (None unless the config enables it).
+    path_cache: PathCache | None = None
 
     def host_list(self) -> list[Host]:
         """Hosts in deterministic (spec) order."""
@@ -121,6 +124,10 @@ class PortlandFabric:
             for switch in self.switches.values()
             if switch.decision_cache is not None)
 
+    def path_cache_stats(self) -> dict[str, int]:
+        """Compiled-path cache counters (empty dict when disabled)."""
+        return self.path_cache.stats() if self.path_cache is not None else {}
+
     def agent_for(self, switch_name: str) -> PortlandAgent:
         """Agent of a named switch."""
         return self.agents[switch_name]
@@ -152,10 +159,13 @@ def build_portland_fabric(
                                         wire.port_a + 1)
         ports_needed[wire.node_b] = max(ports_needed.get(wire.node_b, 0),
                                         wire.port_b + 1)
+    if config.path_cache_entries > 0:
+        fabric.path_cache = PathCache(sim, capacity=config.path_cache_entries)
     for name in tree.edge_names + tree.agg_names + tree.core_names:
         switch = PortlandSwitch(sim, name, max(tree.k, ports_needed.get(name, 0)),
                                 agent_delay_s=config.agent_delay_s,
                                 decision_cache_entries=config.decision_cache_entries)
+        switch.path_cache = fabric.path_cache
         agent = PortlandAgent(switch, config)
         switch.attach_agent(agent)
         fabric.switches[name] = switch

@@ -59,6 +59,10 @@ class CampaignConfig:
     stop_on_violation: bool = True
     #: How many failing scenarios to shrink (shrinking rebuilds fabrics).
     max_shrinks: int = 3
+    #: Compiled-path cache capacity for scenario fabrics (0 = interpreted
+    #: forwarding only). Campaigns run with it enabled to prove compiled
+    #: paths never survive a fault the oracle would flag.
+    path_cache_entries: int = 0
 
 
 @dataclass
@@ -72,6 +76,8 @@ class ScenarioResult:
     failed_links: list[tuple[str, str]] = field(default_factory=list)
     violations: list[Violation] = field(default_factory=list)
     hops: int = 0
+    #: Compiled-path launches in this scenario (0 when the cache is off).
+    path_launches: int = 0
 
     @property
     def ok(self) -> bool:
@@ -139,9 +145,14 @@ def scenario_seed_for(config: CampaignConfig, index: int) -> int:
 # One scenario
 
 
-def _converged_fabric(sim: Simulator, k: int, hosts_per_edge: int):
+def _converged_fabric(sim: Simulator, k: int, hosts_per_edge: int,
+                      path_cache_entries: int = 0):
+    from repro.portland.config import PortlandConfig
+
     tree = build_fat_tree(k, hosts_per_edge=hosts_per_edge)
-    fabric = build_portland_fabric(sim, tree=tree)
+    fabric = build_portland_fabric(
+        sim, tree=tree,
+        config=PortlandConfig(path_cache_entries=path_cache_entries))
     fabric.start()
     fabric.run_until_located()
     fabric.announce_hosts()
@@ -208,7 +219,8 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
     result = ScenarioResult(seed=scenario_seed, k=k)
 
     sim = Simulator(seed=scenario_seed)
-    fabric = _converged_fabric(sim, k, config.hosts_per_edge)
+    fabric = _converged_fabric(sim, k, config.hosts_per_edge,
+                               config.path_cache_entries)
     oracle = InvariantOracle(fabric)
     _start_probes(fabric, rng, config)
     sim.run(until=sim.now + 0.1)
@@ -274,6 +286,7 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
     result.failed_links = sorted(failed)
     result.violations = list(oracle.violations)
     result.hops = oracle.hops
+    result.path_launches = fabric.path_cache_stats().get("launches", 0)
     oracle.close()
     return result
 

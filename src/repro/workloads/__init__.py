@@ -23,3 +23,21 @@ __all__ = [
 from repro.workloads.shuffle import FlowResult, ShuffleWorkload
 
 __all__ += ["FlowResult", "ShuffleWorkload"]
+
+from repro.workloads.replay import (
+    all_to_all_frames,
+    compile_paths,
+    compiled_signature,
+    decision_signature,
+    replay_compiled,
+    replay_decisions,
+)
+
+__all__ += [
+    "all_to_all_frames",
+    "compile_paths",
+    "compiled_signature",
+    "decision_signature",
+    "replay_compiled",
+    "replay_decisions",
+]

@@ -1,0 +1,68 @@
+"""Tier-1 performance smoke: the compiled-path fast path must stay
+meaningfully faster than interpreted per-hop forwarding.
+
+A reduced-iteration cousin of ``benchmarks/bench_sim_kernel.py``'s
+acceptance test (k=4 instead of k=8, a handful of timing repeats, no
+JSON artifact) so plain ``pytest`` — and therefore CI — catches a fast
+path that silently stopped being fast. The gate is deliberately looser
+than the benchmark's (1.5x vs 3x): this is a smoke alarm, not the
+measurement.
+
+Also runnable alone via ``make bench-smoke``.
+"""
+
+import timeit
+
+from repro.portland.config import PortlandConfig
+from repro.sim import Simulator
+from repro.topology import build_portland_fabric
+from repro.workloads.replay import (
+    all_to_all_frames,
+    compile_paths,
+    compiled_signature,
+    decision_signature,
+    replay_compiled,
+    replay_decisions,
+)
+
+SMOKE_SPEEDUP_FLOOR = 1.5
+REPEATS = 3
+
+
+def _converged_k4(path_cache_entries: int):
+    sim = Simulator(seed=99)
+    fabric = build_portland_fabric(
+        sim, k=4, config=PortlandConfig(decision_cache_entries=4096,
+                                        path_cache_entries=path_cache_entries))
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    return fabric
+
+
+def test_compiled_replay_beats_decision_replay():
+    baseline = _converged_k4(path_cache_entries=0)
+    compiled = _converged_k4(path_cache_entries=4096)
+    workload_base = all_to_all_frames(baseline)
+    workload_compiled = all_to_all_frames(compiled)
+
+    # Warm both layers; every flow must compile and match the
+    # interpreted walk hop for hop.
+    replay_decisions(workload_base)
+    assert compile_paths(compiled, workload_compiled) == len(workload_compiled)
+    for node, in_index, frame in workload_compiled:
+        assert (compiled_signature(node, in_index, frame)
+                == decision_signature(node, in_index, frame))
+    assert replay_compiled(workload_compiled) == replay_decisions(
+        workload_compiled)
+
+    base_s = min(timeit.repeat(lambda: replay_decisions(workload_base),
+                               number=1, repeat=REPEATS))
+    compiled_s = min(timeit.repeat(lambda: replay_compiled(workload_compiled),
+                                   number=1, repeat=REPEATS))
+    speedup = base_s / compiled_s
+    assert speedup >= SMOKE_SPEEDUP_FLOOR, (
+        f"compiled-path replay only {speedup:.2f}x faster than the "
+        f"decision-cached walk (floor {SMOKE_SPEEDUP_FLOOR}x) — the fast "
+        "path has regressed; run 'make bench-kernel' for the full numbers")

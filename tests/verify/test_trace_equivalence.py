@@ -1,0 +1,88 @@
+"""Compiled transit must be observationally identical to interpreted
+forwarding: same hops, same entries, same ports, same timestamps.
+
+Two fabrics are built from the same seed — one with the path cache off,
+one with it on — and run the same staggered low-rate UDP flows (low
+enough that no two data frames are ever in flight together, so the
+interpreted run sees no queueing the cut-through approximation would
+miss). Every ``verify.hop`` record of every datagram must then match
+record-for-record, including the float timestamp: ``PathCache.launch``
+accumulates per-hop times with the exact same operations
+``Link._start_transmission`` performs.
+"""
+
+from repro.host.apps import UdpStreamReceiver, UdpStreamSender
+from repro.net.packet import AppData
+from repro.portland.config import PortlandConfig
+from repro.sim import Simulator, TraceCollector
+from repro.topology import build_portland_fabric
+
+FLOWS = ((0, 15, 7200), (1, 14, 7201), (5, 10, 7202), (12, 3, 7203))
+
+
+def _run(path_cache_entries: int):
+    sim = Simulator(seed=4321)
+    fabric = build_portland_fabric(
+        sim, k=4,
+        config=PortlandConfig(path_cache_entries=path_cache_entries))
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    hosts = fabric.host_list()
+    collector = TraceCollector(sim.trace, "verify.hop")
+    senders = []
+    for stagger, (src, dst, port) in enumerate(FLOWS):
+        UdpStreamReceiver(hosts[dst], port)
+        sender = UdpStreamSender(hosts[src], hosts[dst].ip, port,
+                                 rate_pps=200.0)
+        # Staggered starts: 1.3 ms apart, so frames of different flows
+        # are never concurrently on the wire (path latency is ~10 us).
+        sender.start(first_delay=0.0013 * stagger)
+        senders.append(sender)
+    sim.run(until=sim.now + 0.25)
+    for sender in senders:
+        sender.stop()
+    sim.run(until=sim.now + 0.01)  # drain in-flight frames in both runs
+    collector.close()
+    return fabric, collector.records
+
+
+def _trajectories(records):
+    """verify.hop records grouped per datagram, in hop order.
+
+    Keyed by the (flow_id, seq) the sender stamped into the AppData —
+    stable across runs, unlike object identity.
+    """
+    by_packet = {}
+    for record in records:
+        ip = record.detail["payload"]
+        udp = getattr(ip, "payload", None)
+        app = getattr(udp, "payload", None)
+        if not isinstance(app, AppData) or not app.flow_id:
+            continue  # control traffic (ARP/LDP punts)
+        by_packet.setdefault((app.flow_id, app.seq), []).append(
+            (record.time, record.source, record.detail["entry"],
+             record.detail["in_port"], record.detail["dst"],
+             record.detail["ethertype"]))
+    return by_packet
+
+
+def test_compiled_hop_trace_identical_to_interpreted():
+    interpreted_fabric, interpreted_records = _run(path_cache_entries=0)
+    compiled_fabric, compiled_records = _run(path_cache_entries=4096)
+
+    assert interpreted_fabric.path_cache_stats() == {}
+    stats = compiled_fabric.path_cache_stats()
+    assert stats["launches"] > 150, "cut-through never engaged"
+    assert stats["dropped_in_flight"] == 0
+
+    interpreted = _trajectories(interpreted_records)
+    compiled = _trajectories(compiled_records)
+    assert interpreted, "no data-frame hops traced"
+    assert interpreted.keys() == compiled.keys()
+    for key in interpreted:
+        assert compiled[key] == interpreted[key], (
+            f"datagram {key}: compiled trajectory diverged\n"
+            f"  interpreted: {interpreted[key]}\n"
+            f"  compiled:    {compiled[key]}")
