@@ -1,6 +1,6 @@
 # Convenience targets for the PortLand reproduction.
 
-.PHONY: install test bench bench-kernel bench-smoke examples lint-clean verify all
+.PHONY: install test bench bench-kernel bench-smoke bench-flows bench-flows-smoke examples lint-clean verify verify-flows all
 
 install:
 	pip install -e .
@@ -25,9 +25,23 @@ bench-kernel:
 bench-smoke:
 	PYTHONPATH=src pytest tests/test_bench_smoke.py -q
 
+# Flow-level (fluid) engine acceptance: k=8 shuffle in both execution
+# modes + k=4 agreement numbers; writes BENCH_flows.json (docs/FLOWS.md).
+bench-flows:
+	PYTHONPATH=src pytest benchmarks/bench_flows.py --benchmark-only -q
+
+# Reduced-scale flow-mode agreement/event gates (tier-1 cousin).
+bench-flows-smoke:
+	PYTHONPATH=src pytest tests/test_flows_smoke.py -q
+
 # Fixed-seed invariant fault campaign (see docs/VERIFY.md).
 verify:
 	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25
+
+# The same campaign over the fluid engine: the oracle checks every
+# resolved flow path instead of per-frame hops (docs/FLOWS.md).
+verify-flows:
+	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25 --flow-mode
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -7,6 +7,7 @@ Installed as the ``portland-sim`` console script::
     portland-sim convergence --failures 4
     portland-sim arp-load --rate 50
     portland-sim verify --scenarios 25   # invariant fault campaign
+    portland-sim flows --k 4             # fluid (flow-level) shuffle
 """
 
 from __future__ import annotations
@@ -24,10 +25,11 @@ from repro.workloads.failures import FailureInjector, pick_failures
 from repro.workloads.traffic import UdpFlowSet, random_permutation_pairs
 
 
-def _converged_fabric(k: int, seed: int, carrier: bool):
+def _converged_fabric(k: int, seed: int, carrier: bool, config=None):
     sim = Simulator(seed=seed)
     fabric = build_portland_fabric(
-        sim, k=k, link_params=LinkParams(carrier_detect=carrier))
+        sim, k=k, config=config,
+        link_params=LinkParams(carrier_detect=carrier))
     fabric.start()
     located = fabric.run_until_located()
     fabric.announce_hosts()
@@ -132,16 +134,54 @@ def cmd_arp_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_flows(args: argparse.Namespace) -> int:
+    from repro.portland.config import PortlandConfig
+    from repro.workloads.shuffle import FluidShuffleWorkload
+    from repro.workloads.traffic import random_permutation_pairs
+
+    fabric, _l, _r = _converged_fabric(
+        args.k, args.seed, True, config=PortlandConfig(flow_mode=True))
+    sim = fabric.sim
+    pairs = random_permutation_pairs(fabric.host_list(),
+                                     sim.random.stream("cli-flows"))
+    events_before = sim.events_executed
+    shuffle = FluidShuffleWorkload(fabric, pairs=pairs,
+                                   bytes_per_flow=args.bytes)
+    shuffle.start()
+    done_at = shuffle.run_until_done(timeout_s=args.timeout)
+    elapsed = done_at - shuffle.started_at
+    stats = shuffle.fct_stats()
+    engine = fabric.flow_engine
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["flows", len(shuffle.results)],
+            ["bytes per flow", args.bytes],
+            ["shuffle completion", f"{elapsed * 1000:.2f} ms"],
+            ["mean / p99 FCT",
+             f"{stats.mean * 1000:.2f} / {stats.p99 * 1000:.2f} ms"],
+            ["aggregate goodput",
+             f"{shuffle.aggregate_goodput_bps(elapsed) / 1e9:.2f} Gb/s"],
+            ["simulator events", sim.events_executed - events_before],
+            ["rate recomputes", engine.recomputes],
+            ["path re-resolutions", engine.reresolutions],
+        ],
+        title=f"flow-level (fluid) permutation shuffle, k={args.k}",
+    ))
+    return 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import CampaignConfig, run_campaign
 
     config = CampaignConfig(
         scenarios=args.scenarios, seed=args.seed,
         ks=tuple(args.k), steps=args.steps,
-        path_cache_entries=4096 if args.path_cache else 0)
+        path_cache_entries=4096 if args.path_cache else 0,
+        flow_mode=args.flow_mode)
     report = run_campaign(config, log=print if not args.quiet else None)
     print(format_table(
-        ["seed", "k", "steps", "hops", "violations", "verdict"],
+        ["seed", "k", "steps", "checked", "violations", "verdict"],
         report.summary_rows(),
         title=f"invariant campaign ({config.scenarios} scenarios)",
     ))
@@ -191,11 +231,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--path-cache", action="store_true",
                    help="enable the compiled-path (cut-through) fast path "
                         "in every scenario fabric")
+    p.add_argument("--flow-mode", action="store_true",
+                   help="run scenarios in flow-level (fluid) simulation "
+                        "mode: probes become fluid flows and the oracle "
+                        "checks every resolved flow path")
     p.add_argument("--steps", type=int, default=4,
                    help="random fault/migration steps per scenario")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-scenario progress lines")
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser(
+        "flows", help="flow-level (fluid) permutation shuffle (docs/FLOWS.md)")
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--bytes", type=int, default=1_000_000,
+                   help="transfer size per flow")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="simulated-seconds budget for the shuffle")
+    p.set_defaults(fn=cmd_flows)
     return parser
 
 

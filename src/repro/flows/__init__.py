@@ -1,0 +1,18 @@
+"""Flow-level (fluid) simulation over compiled paths.
+
+A second execution layer next to the per-frame event kernel: a
+:class:`~repro.flows.flow.Flow` is a (src, dst, demand, size) object
+pinned to a hop list resolved through the live decision layer, and the
+:class:`~repro.flows.engine.FlowEngine` advances all flows in rate-sized
+chunks between a small number of recomputation events — orders of
+magnitude fewer simulator events than per-frame forwarding, with the
+same port/entry counters charged and the same invariants checkable.
+
+See ``docs/FLOWS.md`` for the model, the fairness algorithm, and the
+frame-vs-flow decision guide.
+"""
+
+from repro.flows.engine import FlowEngine
+from repro.flows.flow import Flow, ResolvedPath
+
+__all__ = ["Flow", "FlowEngine", "ResolvedPath"]

@@ -1,0 +1,388 @@
+"""The fluid flow engine: max-min rates over compiled paths.
+
+Where the frame path schedules one (composite) event per *frame*, the
+:class:`FlowEngine` schedules one event per *rate change*: flows hold a
+constant rate between recomputation points, and state only advances at
+
+* flow arrival and completion (and explicit ``stop_flow``),
+* every :class:`~repro.switching.path_cache.PathCache` invalidation that
+  retires a compiled path — fault overrides (FaultUpdate/FaultClear),
+  Disable/EnableLink, any carrier-state change of a traversed link — at
+  which point affected flows re-resolve through the live decision layer
+  and all rates are re-filled,
+* a slow retry tick while any flow is stalled (no current path — e.g. a
+  partition) or riding a volatile (uncompiled) path.
+
+Rates come from *progressive filling* (max-min fairness): all unfrozen
+flows rise together until a flow hits its demand or a directed link
+saturates; flows crossing a saturated link freeze at their fair share;
+repeat. Capacity accounting is in gross wire bits (headers plus
+preamble/IFG) against :meth:`repro.net.link.Link.capacity_bps`, so a
+fluid flow occupies exactly the bandwidth its frames would.
+
+At every settlement the engine charges the same counters the frame path
+charges — per-port tx/rx frames and bytes on every traversed link
+(:meth:`~repro.net.link.Link.fluid_charge`, including the ingress
+host→edge link) and packet/byte counts on every matched stage-2 flow
+entry — so :mod:`repro.metrics.utilization` snapshots, ``by_layer``, and
+``imbalance`` work unchanged in either mode.
+
+Deliberate approximations (see ``docs/FLOWS.md``): no per-packet
+latency, loss, or queue occupancy; during the instant between a
+mid-interval link death and the recompute it triggers, in-transfer fluid
+is charged like frames already on the wire.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.flows.flow import Flow, ResolvedPath
+from repro.sim.events import PRIORITY_LOW
+from repro.sim.process import Timer
+from repro.switching.hop_walk import walk_decision_path
+from repro.switching.switch import FlowSwitch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology.builder import PortlandFabric
+
+#: Saturation slack for the progressive filling loop, in bits/s — six
+#: orders below the 1 Gb/s default link rate, far above float noise.
+_EPS_BPS = 1e-3
+
+#: Default re-resolve period while flows are stalled or volatile.
+DEFAULT_RETRY_INTERVAL_S = 0.020
+
+
+class FlowEngine:
+    """Fluid-mode executor for one fabric.
+
+    Built by the topology builder when ``PortlandConfig.flow_mode`` is
+    set (which also forces the compiled-path cache on — resolution and
+    invalidation ride the same machinery as cut-through transit).
+    """
+
+    def __init__(self, fabric: "PortlandFabric",
+                 retry_interval_s: float = DEFAULT_RETRY_INTERVAL_S) -> None:
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.path_cache = fabric.path_cache
+        self.retry_interval_s = retry_interval_s
+        if self.path_cache is not None:
+            self.path_cache.add_invalidation_listener(self._on_invalidation)
+        #: Admitted, not-yet-completed flows (stalled ones included).
+        self.flows: list[Flow] = []
+        #: Completed (or stopped) flows, in completion order.
+        self.finished: list[Flow] = []
+        self._last_settle = self.sim.now
+        self._recompute_pending = False
+        self._completion_timer = Timer(self.sim, self._kick,
+                                       priority=PRIORITY_LOW)
+        self._retry_timer = Timer(self.sim, self._kick, priority=PRIORITY_LOW)
+        # Counters (see stats()).
+        self.flows_started = 0
+        self.flows_completed = 0
+        self.recomputes = 0
+        self.reresolutions = 0
+        self.stall_events = 0
+
+    # ------------------------------------------------------------------
+    # Flow admission / teardown
+
+    def start_flow(self, src, dst_ip, **kwargs) -> Flow:
+        """Admit a new :class:`Flow` now (kwargs go to the Flow
+        constructor) and trigger a rate recomputation."""
+        flow = Flow(src, dst_ip, **kwargs)
+        flow.started_at = self.sim.now
+        self.flows.append(flow)
+        self.flows_started += 1
+        trace = self.sim.trace
+        if trace.wants("flow.start"):
+            trace.emit(self.sim.now, "flow.start", flow.name,
+                       src=flow.src.name, dst=str(flow.dst_ip),
+                       demand_bps=flow.demand_bps, size=flow.size_bytes)
+        self._kick()
+        return flow
+
+    def stop_flow(self, flow: Flow) -> None:
+        """Terminate an open-ended flow now (bytes so far stay charged)."""
+        if flow.completed_at is not None:
+            return
+        self._settle()
+        self._finish(flow, completed=False)
+        self._kick()
+
+    # ------------------------------------------------------------------
+    # Event scheduling
+
+    def _kick(self) -> None:
+        """Coalesce any number of same-instant triggers (arrivals,
+        invalidation fan-outs, timer pops) into one recompute event,
+        run at low priority so every state change at this timestamp is
+        visible to the re-resolve."""
+        if self._recompute_pending:
+            return
+        self._recompute_pending = True
+        self.sim.schedule(0.0, self._recompute, priority=PRIORITY_LOW)
+
+    def _on_invalidation(self, _source: str, _reason: str) -> None:
+        if self.flows:
+            self._kick()
+
+    def _recompute(self) -> None:
+        self._recompute_pending = False
+        self.recomputes += 1
+        self._settle()
+        for flow in [f for f in self.flows if f.finished_transfer]:
+            self._finish(flow, completed=True)
+        self._resolve_all()
+        self._refill()
+        self._arm_timers()
+
+    # ------------------------------------------------------------------
+    # Settlement (advance fluid state to now)
+
+    def settle_now(self) -> None:
+        """Advance transfer totals and counters to the current simulated
+        time without changing rates — call before reading byte counters
+        or ``transferred_bytes`` at an arbitrary instant."""
+        self._settle()
+
+    def _settle(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_settle
+        self._last_settle = now
+        if dt <= 0:
+            return
+        for flow in self.flows:
+            if flow.rate_bps <= 0:
+                continue
+            delta = flow.rate_bps * dt / 8
+            if flow.size_bytes is not None:
+                delta = min(delta, flow.size_bytes - flow.transferred_bytes)
+                if delta <= 0:
+                    continue
+            flow.transferred_bytes += delta
+            self._charge(flow)
+
+    def _charge(self, flow: Flow) -> None:
+        frames = flow.total_frames()
+        delta = frames - flow._charged_frames
+        if delta <= 0:
+            return
+        flow._charged_frames = frames
+        path = flow._path
+        if path is None:  # pragma: no cover - rate>0 implies a path
+            return
+        nbytes = delta * flow.frame_wire_bytes
+        for link, port in path.segments:
+            link.fluid_charge(port, delta, nbytes)
+        for entry in path.entries:
+            entry.packets += delta
+            entry.bytes += nbytes
+
+    def _finish(self, flow: Flow, completed: bool) -> None:
+        if completed and flow.size_bytes is not None:
+            # Snap float residue so totals and frame counts are exact.
+            flow.transferred_bytes = float(flow.size_bytes)
+            self._charge(flow)
+        flow.completed_at = self.sim.now
+        self._set_rate(flow, 0.0)
+        self.flows.remove(flow)
+        self.finished.append(flow)
+        self.flows_completed += 1
+        trace = self.sim.trace
+        if trace.wants("flow.complete"):
+            trace.emit(self.sim.now, "flow.complete", flow.name,
+                       bytes=flow.transferred_bytes, fct=flow.fct,
+                       completed=completed)
+        if completed and flow.on_complete is not None:
+            flow.on_complete(flow)
+
+    # ------------------------------------------------------------------
+    # Path resolution
+
+    def _resolve_all(self) -> None:
+        for flow in self.flows:
+            path = flow._path
+            if path is not None and path.alive:
+                continue
+            had_path = path is not None
+            flow._path = resolved = self._resolve_path(flow)
+            if resolved is None:
+                if had_path or flow._path_sig is None:
+                    self.stall_events += 1
+                    flow._path_sig = ()
+                    if self.sim.trace.wants("flow.stall"):
+                        self.sim.trace.emit(self.sim.now, "flow.stall",
+                                            flow.name, src=flow.src.name,
+                                            dst=str(flow.dst_ip))
+                continue
+            self.reresolutions += 1
+            sig = resolved.hop_records
+            if sig != flow._path_sig:
+                if had_path or flow._path_sig == ():
+                    flow.reroutes += 1
+                flow._path_sig = sig
+                trace = self.sim.trace
+                if trace.wants("verify.flow"):
+                    trace.emit(self.sim.now, "verify.flow", flow.name,
+                               hops=sig, dst=flow._frame.dst.value,
+                               src=flow.src.name,
+                               compiled=resolved.compiled is not None)
+
+    def _resolve_path(self, flow: Flow) -> ResolvedPath | None:
+        """Pin ``flow`` to the hop list the live decision layer would
+        forward its frames down: through the compiled-path cache when the
+        flow compiles (sharing its invalidation hooks), else a volatile
+        interpreted walk re-checked every recomputation. ``None`` when
+        the destination is unreachable right now (unregistered PMAC,
+        dead ingress, table miss, loop, or dead link on the walk)."""
+        fm = self.fabric.fabric_manager
+        src_record = fm.hosts_by_ip.get(flow.src.ip)
+        dst_record = fm.hosts_by_ip.get(flow.dst_ip)
+        if src_record is None or dst_record is None:
+            return None
+        frame = flow.representative_frame(src_record.pmac, dst_record.pmac)
+        nic = flow.src.nic
+        ingress_link = nic.link
+        if ingress_link is None or ingress_link.capacity_bps(nic) <= 0:
+            return None
+        edge_port = ingress_link.other_end(nic)
+        edge = edge_port.node
+        if not isinstance(edge, FlowSwitch):
+            return None
+        compiled = None
+        if self.path_cache is not None and hasattr(edge, "_path_table"):
+            compiled = self.path_cache.resolve(edge, frame, edge_port.index)
+        if compiled is not None:
+            segments = ((ingress_link, nic),) + tuple(
+                (hop.link, hop.out_port) for hop in compiled.hops)
+            hop_records = tuple(
+                (hop.switch_name, hop.entry_name, hop.in_index)
+                for hop in compiled.hops)
+            return ResolvedPath(segments, compiled.entries, hop_records,
+                                compiled)
+        hops, final_port = walk_decision_path(edge, edge_port.index, frame,
+                                              require_live=True)
+        if final_port is None:
+            return None
+        segments = ((ingress_link, nic),) + tuple(
+            (hop.out_port.link, hop.out_port) for hop in hops)
+        entries = tuple(hop.entry for hop in hops)
+        hop_records = tuple((hop.node.name, hop.entry.name, hop.in_index)
+                            for hop in hops)
+        return ResolvedPath(segments, entries, hop_records, None)
+
+    # ------------------------------------------------------------------
+    # Max-min fair rate allocation (progressive filling)
+
+    def _refill(self) -> None:
+        routed: list[Flow] = []
+        for flow in self.flows:
+            if flow._path is None:
+                self._set_rate(flow, 0.0)
+            else:
+                routed.append(flow)
+        if not routed:
+            return
+        remaining: dict[int, float] = {}
+        segs_of: list[list[int]] = []
+        dead: set[int] = set()
+        for flow in routed:
+            seg_ids = []
+            for link, port in flow._path.segments:
+                pid = id(port)
+                if pid not in remaining:
+                    remaining[pid] = link.capacity_bps(port)
+                seg_ids.append(pid)
+            segs_of.append(seg_ids)
+        # A dead direction (capacity 0) means the pinned path went stale
+        # without an invalidation reaching us (volatile fallback paths
+        # have no carrier hooks): drop the path so the next recompute
+        # re-resolves, and allocate nothing meanwhile.
+        rates = [0.0] * len(routed)
+        demands = [flow.gross_demand_bps for flow in routed]
+        unfrozen: set[int] = set()
+        for i, seg_ids in enumerate(segs_of):
+            if any(remaining[pid] <= 0.0 for pid in seg_ids):
+                dead.add(i)
+            else:
+                unfrozen.add(i)
+        for _round in range(len(routed) + 1):
+            if not unfrozen:
+                break
+            members: dict[int, int] = {}
+            for i in unfrozen:
+                for pid in segs_of[i]:
+                    members[pid] = members.get(pid, 0) + 1
+            delta = min(demands[i] - rates[i] for i in unfrozen)
+            for pid, count in members.items():
+                share = remaining[pid] / count
+                if share < delta:
+                    delta = share
+            if delta > 0 and not math.isinf(delta):
+                for i in unfrozen:
+                    rates[i] += delta
+                for pid, count in members.items():
+                    remaining[pid] -= delta * count
+            frozen = {
+                i for i in unfrozen
+                if rates[i] >= demands[i] - _EPS_BPS
+                or any(remaining[pid] <= _EPS_BPS for pid in segs_of[i])
+            }
+            if not frozen:
+                break
+            unfrozen -= frozen
+        for i, flow in enumerate(routed):
+            if i in dead:
+                flow._path = None
+                flow._path_sig = ()
+                self._set_rate(flow, 0.0)
+            else:
+                self._set_rate(flow, rates[i] / flow.gross_per_payload)
+
+    def _set_rate(self, flow: Flow, rate_bps: float) -> None:
+        if flow.rate_bps != rate_bps:
+            flow.rate_bps = rate_bps
+            flow.rate_log.append((self.sim.now, rate_bps))
+
+    # ------------------------------------------------------------------
+    # Timers
+
+    def _arm_timers(self) -> None:
+        next_done = math.inf
+        any_volatile = False
+        any_stalled = False
+        for flow in self.flows:
+            if flow._path is None:
+                any_stalled = True
+            elif flow._path.compiled is None:
+                any_volatile = True
+            if flow.size_bytes is not None and flow.rate_bps > 0:
+                eta = (flow.size_bytes - flow.transferred_bytes) * 8 / flow.rate_bps
+                next_done = min(next_done, eta)
+        if math.isinf(next_done):
+            self._completion_timer.stop()
+        else:
+            self._completion_timer.start(max(0.0, next_done))
+        if any_stalled or any_volatile:
+            self._retry_timer.start(self.retry_interval_s)
+        else:
+            self._retry_timer.stop()
+
+    # ------------------------------------------------------------------
+    # Observability
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (aggregatable via ``stats.aggregate_counters``)."""
+        return {
+            "flows_started": self.flows_started,
+            "flows_completed": self.flows_completed,
+            "flows_active": len(self.flows),
+            "flows_stalled": sum(1 for f in self.flows if f.stalled),
+            "recomputes": self.recomputes,
+            "reresolutions": self.reresolutions,
+            "stall_events": self.stall_events,
+        }

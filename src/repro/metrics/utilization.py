@@ -5,10 +5,12 @@ per-layer aggregates (host↔edge, edge↔agg, agg↔core), and utilization
 relative to capacity over a measurement window. Used by the shuffle
 analyses and handy when debugging load imbalance.
 
-Port counters include compiled cut-through traversals: when the path
-cache is enabled (see ``docs/PERF.md``), launched frames charge every
-traversed port at launch time, so these aggregates stay accurate even
-though no per-hop link events ran.
+Port counters include compiled cut-through traversals and fluid-flow
+charges: when the path cache is enabled (see ``docs/PERF.md``),
+launched frames charge every traversed port at launch time, and in
+flow mode (``docs/FLOWS.md``) the engine charges the same counters at
+every settlement — so these aggregates stay accurate in every
+execution mode even though no per-hop link events ran.
 """
 
 from __future__ import annotations
@@ -27,6 +29,10 @@ class LinkUsage:
     b: str
     bytes_total: int
     frames_total: int
+    #: True when the link was absent from the baseline snapshot (added
+    #: after it — e.g. by a VM-migration re-home), so the totals cover
+    #: the link's whole lifetime rather than just the window.
+    new_since_baseline: bool = False
 
     def utilization(self, elapsed_s: float, rate_bps: float) -> float:
         """Mean utilization of the link's total (both-direction)
@@ -40,30 +46,38 @@ def _layer_of(node_name: str) -> str:
     return node_name.split("-")[0]
 
 
+def _link_totals(link: Link) -> tuple[int, int]:
+    """(bytes, frames) transmitted on ``link``, both directions summed."""
+    return (link.a.counters.tx_bytes + link.b.counters.tx_bytes,
+            link.a.counters.tx_frames + link.b.counters.tx_frames)
+
+
 def snapshot(links: dict[tuple[str, str], Link]) -> dict[tuple[str, str], tuple[int, int]]:
     """Capture (bytes, frames) per link — diff two snapshots to measure
     a window."""
-    result = {}
-    for key, link in links.items():
-        tx_bytes = link.a.counters.tx_bytes + link.b.counters.tx_bytes
-        tx_frames = link.a.counters.tx_frames + link.b.counters.tx_frames
-        result[key] = (tx_bytes, tx_frames)
-    return result
+    return {key: _link_totals(link) for key, link in links.items()}
 
 
 def usage_since(links: dict[tuple[str, str], Link],
                 baseline: dict[tuple[str, str], tuple[int, int]],
                 ) -> list[LinkUsage]:
-    """Per-link usage since a :func:`snapshot`, descending by bytes."""
+    """Per-link usage since a :func:`snapshot`, descending by bytes.
+
+    A link missing from ``baseline`` (attached after the snapshot was
+    taken) is counted from zero and flagged
+    :attr:`LinkUsage.new_since_baseline` so analyses can tell a
+    whole-lifetime total from a window delta.
+    """
     usages = []
     for (a, b), link in links.items():
-        now_bytes = link.a.counters.tx_bytes + link.b.counters.tx_bytes
-        now_frames = link.a.counters.tx_frames + link.b.counters.tx_frames
-        base_bytes, base_frames = baseline.get((a, b), (0, 0))
+        now_bytes, now_frames = _link_totals(link)
+        base = baseline.get((a, b))
+        base_bytes, base_frames = base if base is not None else (0, 0)
         usages.append(LinkUsage(
             name=link.name, a=a, b=b,
             bytes_total=now_bytes - base_bytes,
             frames_total=now_frames - base_frames,
+            new_since_baseline=base is None,
         ))
     usages.sort(key=lambda u: u.bytes_total, reverse=True)
     return usages

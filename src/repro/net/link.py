@@ -183,6 +183,31 @@ class Link:
         traverse (no full or ``src_port``-direction failure)."""
         return not self.failed and id(src_port) not in self._failed_tx
 
+    def capacity_bps(self, src_port: Port) -> float:
+        """Usable capacity of the ``src_port`` → peer direction, in bits
+        per second — 0 when the direction is administratively disabled,
+        unwired at either end, or failed. This is the per-direction
+        constraint the flow-level (fluid) engine water-fills against."""
+        if not src_port.enabled or not self.can_carry(src_port):
+            return 0.0
+        if not self.other_end(src_port).enabled:
+            return 0.0
+        return self.rate_bps
+
+    def fluid_charge(self, src_port: Port, frames: int, nbytes: int) -> None:
+        """Charge ``frames``/``nbytes`` of fluid (flow-level) traffic to
+        the ``src_port`` → peer direction's counters.
+
+        The flow engine advances flows in rate-sized chunks instead of
+        per-frame events; this books the equivalent tx/rx totals so
+        :mod:`repro.metrics.utilization` aggregates are mode-agnostic.
+        """
+        src_port.counters.tx_frames += frames
+        src_port.counters.tx_bytes += nbytes
+        dst = self.other_end(src_port).counters
+        dst.rx_frames += frames
+        dst.rx_bytes += nbytes
+
     def _notify_state(self) -> None:
         for listener in self._state_listeners:
             listener()

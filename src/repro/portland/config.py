@@ -40,6 +40,14 @@ class PortlandConfig:
     #: throughput matters more than in-fabric queueing fidelity (see
     #: docs/PERF.md).
     path_cache_entries: int = 0
+    #: Flow-level (fluid) simulation mode: the builder attaches a
+    #: :class:`repro.flows.FlowEngine` to the fabric, which advances
+    #: flows as max-min fair *rates* over compiled hop lists instead of
+    #: per-frame events (see ``docs/FLOWS.md``). Forces the compiled-path
+    #: cache on (with :data:`~repro.switching.path_cache.DEFAULT_PATH_CAPACITY`
+    #: when ``path_cache_entries`` is 0) — flow path resolution and
+    #: invalidation ride the same machinery as cut-through transit.
+    flow_mode: bool = False
     #: Debounce for neighbor reports to the fabric manager.
     report_debounce_s: float = 0.005
 

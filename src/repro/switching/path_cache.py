@@ -152,6 +152,13 @@ class PathCache:
         # switch's tables or a link's carrier state change.
         self._by_switch: dict = {}
         self._by_link: dict = {}
+        #: Called as ``listener(source, reason)`` after every invalidation
+        #: that killed at least one path. The flow-level engine
+        #: (:mod:`repro.flows`) hangs its rate-recompute trigger off this:
+        #: any fabric-state change that retires a compiled path — fault
+        #: overrides, link disable/enable, carrier loss — must also
+        #: re-resolve and re-fill the flows pinned to it.
+        self._invalidation_listeners: list = []
         self.hits = 0
         self.misses = 0
         self.no_path_hits = 0
@@ -400,6 +407,11 @@ class PathCache:
     def _on_link_change(self, link) -> None:
         self._invalidate(self._by_link.get(link), link.name, "link-state")
 
+    def add_invalidation_listener(self, listener) -> None:
+        """Call ``listener(source, reason)`` after every invalidation
+        that retired at least one path (positive or negative verdict)."""
+        self._invalidation_listeners.append(listener)
+
     def _invalidate(self, bucket, source: str, reason: str) -> int:
         if not bucket:
             return 0
@@ -411,6 +423,8 @@ class PathCache:
         if trace.wants("switch.path_flush"):
             trace.emit(self.sim.now, "switch.path_flush", source,
                        reason=reason, killed=killed)
+        for listener in self._invalidation_listeners:
+            listener(source, reason)
         return killed
 
     # ------------------------------------------------------------------

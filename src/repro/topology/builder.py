@@ -6,6 +6,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import TopologyError
+from repro.flows.engine import FlowEngine
 from repro.host.host import Host
 from repro.net.link import Link
 from repro.portland.agent import PortlandAgent
@@ -14,7 +15,7 @@ from repro.portland.control import ControlNetwork
 from repro.portland.fabric_manager import FabricManager
 from repro.portland.switch import PortlandSwitch
 from repro.sim.simulator import Simulator
-from repro.switching.path_cache import PathCache
+from repro.switching.path_cache import DEFAULT_PATH_CAPACITY, PathCache
 from repro.topology.fattree import FatTree, build_fat_tree
 
 
@@ -47,6 +48,8 @@ class PortlandFabric:
     control: ControlNetwork | None = None
     #: Shared compiled-path cache (None unless the config enables it).
     path_cache: PathCache | None = None
+    #: Flow-level (fluid) engine (None unless ``config.flow_mode``).
+    flow_engine: FlowEngine | None = None
 
     def host_list(self) -> list[Host]:
         """Hosts in deterministic (spec) order."""
@@ -128,6 +131,10 @@ class PortlandFabric:
         """Compiled-path cache counters (empty dict when disabled)."""
         return self.path_cache.stats() if self.path_cache is not None else {}
 
+    def flow_engine_stats(self) -> dict[str, int]:
+        """Fluid-engine counters (empty dict when flow mode is off)."""
+        return self.flow_engine.stats() if self.flow_engine is not None else {}
+
     def agent_for(self, switch_name: str) -> PortlandAgent:
         """Agent of a named switch."""
         return self.agents[switch_name]
@@ -159,8 +166,13 @@ def build_portland_fabric(
                                         wire.port_a + 1)
         ports_needed[wire.node_b] = max(ports_needed.get(wire.node_b, 0),
                                         wire.port_b + 1)
-    if config.path_cache_entries > 0:
-        fabric.path_cache = PathCache(sim, capacity=config.path_cache_entries)
+    # Flow mode resolves and invalidates paths through the compiled-path
+    # cache, so it forces the cache on (default-sized when unconfigured).
+    path_entries = config.path_cache_entries
+    if config.flow_mode and path_entries <= 0:
+        path_entries = DEFAULT_PATH_CAPACITY
+    if path_entries > 0:
+        fabric.path_cache = PathCache(sim, capacity=path_entries)
     for name in tree.edge_names + tree.agg_names + tree.core_names:
         switch = PortlandSwitch(sim, name, max(tree.k, ports_needed.get(name, 0)),
                                 agent_delay_s=config.agent_delay_s,
@@ -202,4 +214,6 @@ def build_portland_fabric(
             carrier_detect=params.host_carrier_detect,
         )
         fabric.links[(wire.node_a, wire.node_b)] = link
+    if config.flow_mode:
+        fabric.flow_engine = FlowEngine(fabric)
     return fabric

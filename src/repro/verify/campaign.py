@@ -63,6 +63,15 @@ class CampaignConfig:
     #: forwarding only). Campaigns run with it enabled to prove compiled
     #: paths never survive a fault the oracle would flag.
     path_cache_entries: int = 0
+    #: Run scenario fabrics in flow-level (fluid) simulation mode: probe
+    #: traffic becomes open-ended fluid flows driven by the
+    #: :class:`repro.flows.FlowEngine`, and the oracle additionally
+    #: checks every ``verify.flow`` hop list (loop freedom, up*-down*
+    #: validity, host delivery) — including the re-resolved paths flows
+    #: pin after each fault/recovery/migration step.
+    flow_mode: bool = False
+    #: Payload rate per fluid probe flow (flow-mode scenarios only).
+    fluid_probe_bps: float = 50e6
 
 
 @dataclass
@@ -78,6 +87,10 @@ class ScenarioResult:
     hops: int = 0
     #: Compiled-path launches in this scenario (0 when the cache is off).
     path_launches: int = 0
+    #: Oracle-checked fluid path resolutions (flow-mode scenarios only).
+    flow_paths: int = 0
+    #: Fluid-engine counters at scenario end (flow-mode scenarios only).
+    flow_stats: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -129,7 +142,10 @@ class CampaignReport:
         for result in self.results:
             rows.append([
                 result.seed, result.k, len(result.steps),
-                result.hops, len(result.violations),
+                # Frame-mode scenarios check per-frame hops; flow-mode
+                # scenarios check whole resolved flow paths. Exactly one
+                # of the two is non-zero, so one column serves both.
+                result.hops + result.flow_paths, len(result.violations),
                 "ok" if result.ok else ",".join(
                     sorted({v.kind for v in result.violations})),
             ])
@@ -146,13 +162,14 @@ def scenario_seed_for(config: CampaignConfig, index: int) -> int:
 
 
 def _converged_fabric(sim: Simulator, k: int, hosts_per_edge: int,
-                      path_cache_entries: int = 0):
+                      path_cache_entries: int = 0, flow_mode: bool = False):
     from repro.portland.config import PortlandConfig
 
     tree = build_fat_tree(k, hosts_per_edge=hosts_per_edge)
     fabric = build_portland_fabric(
         sim, tree=tree,
-        config=PortlandConfig(path_cache_entries=path_cache_entries))
+        config=PortlandConfig(path_cache_entries=path_cache_entries,
+                              flow_mode=flow_mode))
     fabric.start()
     fabric.run_until_located()
     fabric.announce_hosts()
@@ -168,9 +185,17 @@ def _start_probes(fabric, rng: random.Random, config: CampaignConfig):
     rng.shuffle(shuffled)
     for i in range(count):
         src, dst = shuffled[2 * i], shuffled[2 * i + 1]
-        receivers.append(UdpStreamReceiver(dst, 6000 + i))
-        UdpStreamSender(src, dst.ip, 6000 + i,
-                        rate_pps=config.probe_rate_pps).start()
+        if config.flow_mode:
+            # Open-ended fluid flows: they survive the whole scenario,
+            # re-resolving (and re-emitting ``verify.flow``) after every
+            # fault step — exactly the trajectories the oracle must vet.
+            fabric.flow_engine.start_flow(
+                src, dst.ip, demand_bps=config.fluid_probe_bps,
+                dport=6000 + i, name=f"probe-{i}")
+        else:
+            receivers.append(UdpStreamReceiver(dst, 6000 + i))
+            UdpStreamSender(src, dst.ip, 6000 + i,
+                            rate_pps=config.probe_rate_pps).start()
     return receivers
 
 
@@ -220,7 +245,7 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
 
     sim = Simulator(seed=scenario_seed)
     fabric = _converged_fabric(sim, k, config.hosts_per_edge,
-                               config.path_cache_entries)
+                               config.path_cache_entries, config.flow_mode)
     oracle = InvariantOracle(fabric)
     _start_probes(fabric, rng, config)
     sim.run(until=sim.now + 0.1)
@@ -287,6 +312,8 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
     result.violations = list(oracle.violations)
     result.hops = oracle.hops
     result.path_launches = fabric.path_cache_stats().get("launches", 0)
+    result.flow_paths = oracle.flow_paths
+    result.flow_stats = fabric.flow_engine_stats()
     oracle.close()
     return result
 

@@ -17,6 +17,14 @@ invariants the paper proves by construction:
   loop-freedom proof, checked per hop via
   :func:`repro.portland.forwarding.entry_direction`.
 
+The oracle also listens to ``verify.flow`` records — the pinned hop
+lists the flow-level engine (:mod:`repro.flows`) emits whenever a fluid
+flow resolves or re-resolves its path — and enforces the same two
+invariants on each list as a whole, plus that the path terminates at a
+host-delivery entry. This is how flow-mode campaigns prove that fluid
+flows only ever occupy valid up*-down* paths, including the re-resolved
+path after a fault.
+
 ``check_now()`` additionally runs the static checks (PMAC consistency,
 override soundness, all-pairs table walks) against the current fabric
 state, for use after the fabric has settled.
@@ -68,11 +76,14 @@ class InvariantOracle:
         self.violations: list[Violation] = []
         self.hops = 0
         self.misses = 0
+        #: Fluid-path resolutions checked (flow-mode fabrics only).
+        self.flow_paths = 0
         self._trajectories: dict[tuple[int, int], _Trajectory] = {}
         self._subscribed = False
         if track_hops:
             self.sim.trace.subscribe("verify.hop", self._on_hop)
             self.sim.trace.subscribe("verify.miss", self._on_miss)
+            self.sim.trace.subscribe("verify.flow", self._on_flow)
             self._subscribed = True
 
     # ------------------------------------------------------------------
@@ -122,6 +133,39 @@ class InvariantOracle:
         # walker, which knows whether the destination was reachable.
         self.misses += 1
 
+    def _on_flow(self, record: TraceRecord) -> None:
+        """Check one fluid flow's pinned hop list.
+
+        The list arrives whole (``((switch, entry, in_port), ...)``), so
+        the trajectory invariants are checked in one pass rather than
+        incrementally: no switch may repeat, no up-entry may follow a
+        down-entry, and the final hop must be a host-delivery entry —
+        a fluid flow must never be pinned to a path that strands its
+        bytes inside the fabric.
+        """
+        self.flow_paths += 1
+        hops = record.detail.get("hops") or ()
+        visited: list[str] = []
+        descended = False
+        for switch_name, entry_name, _in_index in hops:
+            if switch_name in visited:
+                self.violations.append(Violation(
+                    "flow-loop", record.source, record.time,
+                    {"switch": switch_name, "hops": visited}))
+            direction = entry_direction(entry_name or "")
+            if direction == "up" and descended:
+                self.violations.append(Violation(
+                    "flow-up-after-down", record.source, record.time,
+                    {"switch": switch_name, "entry": entry_name,
+                     "hops": visited}))
+            elif direction in ("down", "deliver"):
+                descended = True
+            visited.append(switch_name)
+        if hops and entry_direction(hops[-1][1] or "") != "deliver":
+            self.violations.append(Violation(
+                "flow-no-delivery", record.source, record.time,
+                {"last_entry": hops[-1][1], "hops": visited}))
+
     # ------------------------------------------------------------------
     # Static (settled-state) checks
 
@@ -152,12 +196,14 @@ class InvariantOracle:
         self.violations.clear()
         self.hops = 0
         self.misses = 0
+        self.flow_paths = 0
 
     def close(self) -> None:
         """Unsubscribe from the trace bus. Idempotent."""
         if self._subscribed:
             self.sim.trace.unsubscribe("verify.hop", self._on_hop)
             self.sim.trace.unsubscribe("verify.miss", self._on_miss)
+            self.sim.trace.unsubscribe("verify.flow", self._on_flow)
             self._subscribed = False
 
     def __enter__(self) -> "InvariantOracle":

@@ -20,9 +20,13 @@ __all__ = [
     "switch_link_names",
 ]
 
-from repro.workloads.shuffle import FlowResult, ShuffleWorkload
+from repro.workloads.shuffle import (
+    FlowResult,
+    FluidShuffleWorkload,
+    ShuffleWorkload,
+)
 
-__all__ += ["FlowResult", "ShuffleWorkload"]
+__all__ += ["FlowResult", "FluidShuffleWorkload", "ShuffleWorkload"]
 
 from repro.workloads.replay import (
     all_to_all_frames,

@@ -17,8 +17,8 @@ from repro.net.ethernet import ETHERTYPE_IPV4, EthernetFrame
 from repro.net.ipv4 import IPPROTO_UDP, IPv4Packet
 from repro.net.packet import AppData
 from repro.net.udp import UdpDatagram
-from repro.switching.flow_table import Output, SelectByHash, decision_key, flow_hash
-from repro.switching.switch import FlowSwitch
+from repro.switching.flow_table import decision_key
+from repro.switching.hop_walk import walk_decision_path
 
 
 def all_to_all_frames(fabric, flows_per_pair: int = 4) -> list:
@@ -45,47 +45,24 @@ def all_to_all_frames(fabric, flows_per_pair: int = 4) -> list:
 
 def replay_decisions(workload) -> tuple[int, int]:
     """Forward every frame hop-by-hop through the real per-switch
-    decision path, following output ports across the live wiring until
-    the frame leaves on a host port. Returns (hops, delivered)."""
+    decision path (the shared :func:`walk_decision_path` walker),
+    following output ports across the live wiring until the frame leaves
+    on a host port. Returns (hops, delivered)."""
     hops = 0
     delivered = 0
     for node, in_index, frame in workload:
-        while True:
-            _entry, actions = node._forwarding_decision(frame, in_index)
-            hops += 1
-            out = None
-            for action in actions:
-                if type(action) is Output:
-                    out = action.port
-                elif type(action) is SelectByHash:
-                    out = action.ports[flow_hash(frame) % len(action.ports)]
-            peer = node.ports[out].peer
-            if isinstance(peer.node, FlowSwitch):
-                node, in_index = peer.node, peer.index
-            else:
-                delivered += 1
-                break
+        walked, final_port = walk_decision_path(node, in_index, frame)
+        hops += len(walked)
+        if final_port is not None:
+            delivered += 1
     return hops, delivered
 
 
 def decision_signature(node, in_index: int, frame) -> tuple:
     """The ((switch name, out port), ...) hop sequence the per-switch
     decision path would take for one frame."""
-    signature = []
-    while True:
-        _entry, actions = node._forwarding_decision(frame, in_index)
-        out = None
-        for action in actions:
-            if type(action) is Output:
-                out = action.port
-            elif type(action) is SelectByHash:
-                out = action.ports[flow_hash(frame) % len(action.ports)]
-        signature.append((node.name, out))
-        peer = node.ports[out].peer
-        if isinstance(peer.node, FlowSwitch):
-            node, in_index = peer.node, peer.index
-        else:
-            return tuple(signature)
+    walked, _final_port = walk_decision_path(node, in_index, frame)
+    return tuple((hop.node.name, hop.out_index) for hop in walked)
 
 
 def compile_paths(fabric, workload) -> int:

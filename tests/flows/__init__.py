@@ -1,0 +1,1 @@
+"""Tests for the flow-level fluid simulation engine (repro.flows)."""

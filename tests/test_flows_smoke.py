@@ -1,0 +1,157 @@
+"""Tier-1 flow-mode smoke: fluid simulation must agree with the frame
+path and must be dramatically cheaper in simulator events.
+
+A reduced-scale cousin of ``benchmarks/bench_flows.py``'s acceptance
+run (k=4 instead of k=8, shorter windows, no JSON artifact) so plain
+``pytest`` — and therefore CI — catches a fluid engine that drifted
+away from frame-path semantics. Two properties are gated:
+
+* **agreement** — the same permutation of CBR flows run in frame mode
+  (real UDP senders) and in flow mode (fluid rates) must place the same
+  bytes on the same links (every link within 2%) and deliver the same
+  per-flow rate (within 5% of the frame-mode receiver's goodput). The
+  fluid engine resolves paths from a *representative frame* with the
+  flow's real 5-tuple, so the ECMP choice — and hence the per-link
+  placement — must match exactly, not just statistically;
+* **event reduction** — a finite permutation shuffle must cost at
+  least 10x fewer simulator events to complete in flow mode than the
+  frame path needs (the k=8 benchmark gates the paper number, 20x).
+
+Also runnable alone via ``make bench-flows-smoke``.
+"""
+
+from repro.host.apps.udp_stream import UdpStreamReceiver, UdpStreamSender
+from repro.metrics.utilization import snapshot, usage_since
+from repro.portland.config import PortlandConfig
+from repro.sim import Simulator
+from repro.topology import build_portland_fabric
+from repro.workloads.shuffle import FluidShuffleWorkload, ShuffleWorkload
+from repro.workloads.traffic import random_permutation_pairs
+
+LINK_BYTES_TOLERANCE = 0.02
+RATE_TOLERANCE = 0.05
+EVENT_REDUCTION_FLOOR = 10.0
+
+#: Per-link absolute slack (bytes) on top of the 2% relative gate —
+#: covers the one-shot ARP resolution frames the frame path sends and
+#: the fluid path never does, plus ±1 in-flight frame per flow.
+LINK_BYTES_SLACK = 6_000
+
+WINDOW_S = 0.25
+RATE_PPS = 2000.0
+PAYLOAD = 1000
+
+
+def _converged(seed: int, flow_mode: bool):
+    sim = Simulator(seed=seed)
+    config = PortlandConfig(flow_mode=True) if flow_mode else PortlandConfig(
+        path_cache_entries=4096)
+    fabric = build_portland_fabric(sim, k=4, config=config)
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    return fabric
+
+
+def _pair_names(fabric):
+    rng = fabric.sim.random.stream("flows-smoke")
+    return [(a.name, b.name)
+            for a, b in random_permutation_pairs(fabric.host_list(), rng)]
+
+
+def test_fluid_rates_and_link_bytes_agree_with_frame_path():
+    frame_fab = _converged(99, flow_mode=False)
+    fluid_fab = _converged(99, flow_mode=True)
+    # Same seed, same topology, same RNG stream: identical permutation.
+    pairs = _pair_names(frame_fab)
+    assert pairs == _pair_names(fluid_fab)
+
+    # Frame mode: real CBR UDP senders.
+    senders, receivers = [], []
+    for i, (src_name, dst_name) in enumerate(pairs):
+        src = frame_fab.hosts[src_name]
+        dst = frame_fab.hosts[dst_name]
+        receivers.append(UdpStreamReceiver(dst, 6000 + i))
+        sender = UdpStreamSender(src, dst.ip, 6000 + i,
+                                 rate_pps=RATE_PPS, payload_bytes=PAYLOAD)
+        sender.start()
+        senders.append(sender)
+    frame_base = snapshot(frame_fab.links)
+    t0 = frame_fab.sim.now
+    frame_fab.sim.run(until=t0 + WINDOW_S)
+    frame_usage = {u.name: u for u in usage_since(frame_fab.links, frame_base)}
+
+    # Flow mode: the same permutation as fluid flows with the same
+    # demand AND the same 5-tuple — sport copied from the frame-mode
+    # sender's ephemeral socket, so decision_key (hence ECMP) matches.
+    flows = []
+    engine = fluid_fab.flow_engine
+    for i, (src_name, dst_name) in enumerate(pairs):
+        src = fluid_fab.hosts[src_name]
+        dst = fluid_fab.hosts[dst_name]
+        flows.append(engine.start_flow(
+            src, dst.ip, demand_bps=RATE_PPS * PAYLOAD * 8,
+            sport=senders[i].socket.port, dport=6000 + i,
+            payload_bytes=PAYLOAD))
+    fluid_base = snapshot(fluid_fab.links)
+    t0 = fluid_fab.sim.now
+    fluid_fab.sim.run(until=t0 + WINDOW_S)
+    engine.settle_now()
+    fluid_usage = {u.name: u for u in usage_since(fluid_fab.links, fluid_base)}
+
+    # Per-flow rates: fluid allocation vs what the receiver measured.
+    for i, flow in enumerate(flows):
+        frame_goodput = len(receivers[i].arrivals) * PAYLOAD * 8 / WINDOW_S
+        assert frame_goodput > 0
+        fluid_rate = flow.average_rate_bps(fluid_fab.sim.now)
+        assert abs(fluid_rate - frame_goodput) <= RATE_TOLERANCE * frame_goodput, (
+            f"flow {flow.name}: fluid {fluid_rate:.0f} bps vs frame "
+            f"{frame_goodput:.0f} bps")
+
+    # Per-link bytes: every link, both directions summed. Same ECMP
+    # placement means the same links are hot in both modes.
+    assert frame_usage.keys() == fluid_usage.keys()
+    mismatches = [
+        (name, frame_usage[name].bytes_total, fluid_usage[name].bytes_total)
+        for name in frame_usage
+        if abs(frame_usage[name].bytes_total - fluid_usage[name].bytes_total)
+        > LINK_BYTES_TOLERANCE * max(frame_usage[name].bytes_total,
+                                     fluid_usage[name].bytes_total)
+        + LINK_BYTES_SLACK
+    ]
+    assert not mismatches, f"per-link byte divergence: {mismatches[:5]}"
+    # And the comparison is not vacuous: data actually crossed the core.
+    hot = [u for u in fluid_usage.values() if u.bytes_total > 100_000]
+    assert len(hot) >= len(pairs)
+
+
+def test_fluid_shuffle_needs_far_fewer_events():
+    frame_fab = _converged(99, flow_mode=False)
+    fluid_fab = _converged(99, flow_mode=True)
+    pairs = _pair_names(frame_fab)
+
+    frame_pairs = [(frame_fab.hosts[a], frame_fab.hosts[b]) for a, b in pairs]
+    before = frame_fab.sim.events_executed
+    frame_shuffle = ShuffleWorkload(frame_fab.sim, frame_fab.host_list(),
+                                    pairs=frame_pairs, bytes_per_flow=200_000)
+    frame_shuffle.start()
+    frame_shuffle.run_until_done(timeout_s=30.0)
+    frame_events = frame_fab.sim.events_executed - before
+
+    fluid_pairs = [(fluid_fab.hosts[a], fluid_fab.hosts[b]) for a, b in pairs]
+    before = fluid_fab.sim.events_executed
+    fluid_shuffle = FluidShuffleWorkload(fluid_fab, pairs=fluid_pairs,
+                                         bytes_per_flow=200_000)
+    fluid_shuffle.start()
+    fluid_shuffle.run_until_done(timeout_s=30.0)
+    fluid_events = fluid_fab.sim.events_executed - before
+
+    assert frame_shuffle.all_done() and fluid_shuffle.all_done()
+    # Same payload moved in both modes.
+    assert fluid_shuffle.total_bytes_moved() == len(pairs) * 200_000
+    reduction = frame_events / max(1, fluid_events)
+    assert reduction >= EVENT_REDUCTION_FLOOR, (
+        f"flow mode used {fluid_events} events vs {frame_events} frame-mode "
+        f"events — only {reduction:.1f}x fewer (floor "
+        f"{EVENT_REDUCTION_FLOOR}x); run 'make bench-flows' for full numbers")

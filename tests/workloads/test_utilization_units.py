@@ -2,12 +2,37 @@
 
 import pytest
 
-from repro.metrics.utilization import LinkUsage, by_layer, imbalance
+from repro.metrics.utilization import (
+    LinkUsage,
+    by_layer,
+    imbalance,
+    snapshot,
+    usage_since,
+)
+from repro.net.link import PortCounters
 
 
 def usage(a, b, nbytes):
     return LinkUsage(name=f"{a}<->{b}", a=a, b=b, bytes_total=nbytes,
                      frames_total=nbytes // 100)
+
+
+class _FakeEnd:
+    def __init__(self):
+        self.counters = PortCounters()
+
+
+class _FakeLink:
+    """Just enough of Link for the counter-summation helpers."""
+
+    def __init__(self, a_name, b_name):
+        self.name = f"{a_name}<->{b_name}"
+        self.a = _FakeEnd()
+        self.b = _FakeEnd()
+
+    def tx(self, end, frames, nbytes):
+        end.counters.tx_frames += frames
+        end.counters.tx_bytes += nbytes
 
 
 def test_by_layer_aggregates_symmetrically():
@@ -45,3 +70,46 @@ def test_utilization_fraction():
     # 1 Mbit over 1 s on a 1 Mb/s link = 50% of the 2x duplex capacity.
     assert u.utilization(1.0, 1e6) == pytest.approx(0.5)
     assert u.utilization(0.0, 1e6) == 0.0
+
+
+def test_snapshot_roundtrip_is_zero_delta():
+    link = _FakeLink("host-p0-e0-0", "edge-p0-s0")
+    link.tx(link.a, 3, 300)
+    link.tx(link.b, 1, 100)
+    links = {("host-p0-e0-0", "edge-p0-s0"): link}
+    base = snapshot(links)
+    assert base[("host-p0-e0-0", "edge-p0-s0")] == (400, 4)
+    [u] = usage_since(links, base)
+    assert (u.bytes_total, u.frames_total) == (0, 0)
+    assert not u.new_since_baseline
+
+
+def test_usage_since_measures_the_window_both_directions():
+    link = _FakeLink("edge-p0-s0", "agg-p0-s0")
+    link.tx(link.a, 5, 500)
+    base = snapshot({("edge-p0-s0", "agg-p0-s0"): link})
+    link.tx(link.a, 2, 200)
+    link.tx(link.b, 1, 100)
+    [u] = usage_since({("edge-p0-s0", "agg-p0-s0"): link}, base)
+    assert (u.bytes_total, u.frames_total) == (300, 3)
+    assert not u.new_since_baseline
+
+
+def test_usage_since_flags_links_added_after_baseline():
+    old = _FakeLink("edge-p0-s0", "agg-p0-s0")
+    base = snapshot({("edge-p0-s0", "agg-p0-s0"): old})
+    # A migration re-home attaches a brand-new host link mid-window.
+    new = _FakeLink("host-p1-e0-0", "edge-p1-s0")
+    new.tx(new.a, 7, 700)
+    usages = usage_since(
+        {("edge-p0-s0", "agg-p0-s0"): old,
+         ("host-p1-e0-0", "edge-p1-s0"): new},
+        base)
+    flagged = {u.name: u.new_since_baseline for u in usages}
+    assert flagged == {"edge-p0-s0<->agg-p0-s0": False,
+                       "host-p1-e0-0<->edge-p1-s0": True}
+    by_name = {u.name: u for u in usages}
+    # The new link reports its whole lifetime, counted from zero.
+    assert by_name["host-p1-e0-0<->edge-p1-s0"].bytes_total == 700
+    # Descending-bytes ordering puts the busy new link first.
+    assert usages[0].name == "host-p1-e0-0<->edge-p1-s0"
