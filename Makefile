@@ -1,6 +1,6 @@
 # Convenience targets for the PortLand reproduction.
 
-.PHONY: install test bench bench-kernel bench-smoke bench-flows bench-flows-smoke examples lint-clean verify verify-flows all
+.PHONY: install test bench bench-kernel bench-smoke bench-flows bench-flows-smoke bench-topo examples lint-clean verify verify-flows verify-topo test-topo all
 
 install:
 	pip install -e .
@@ -42,6 +42,23 @@ verify:
 # resolved flow path instead of per-frame hops (docs/FLOWS.md).
 verify-flows:
 	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25 --flow-mode
+
+# The same 25-scenario campaign on every topology backend — the
+# cross-fabric conformance gate (docs/TOPOLOGIES.md).
+verify-topo:
+	for b in fattree jellyfish twolayer; do \
+		echo "== backend $$b"; \
+		PYTHONPATH=src python -m repro.cli --seed 7 verify \
+			--scenarios 25 --backend $$b || exit 1; \
+	done
+
+# Full cross-fabric conformance matrix (tier-1 runs only its smoke rows).
+test-topo:
+	PYTHONPATH=src pytest tests/conformance tests/topology -q -m ""
+
+# Cross-backend diversity/completion smoke (ratio-logged, not gated).
+bench-topo:
+	PYTHONPATH=src pytest benchmarks/bench_topologies.py --benchmark-only -q
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -20,6 +20,7 @@ from repro.metrics.convergence import convergence_time, measure_outages
 from repro.metrics.tables import format_table
 from repro.portland.messages import SwitchLevel
 from repro.topology.fattree import build_fat_tree
+from repro.topology.scheme import BACKEND_NAMES
 from repro.workloads.arp_workload import ArpStorm
 from repro.workloads.failures import FailureInjector, pick_failures
 from repro.workloads.traffic import UdpFlowSet, random_permutation_pairs
@@ -176,6 +177,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     config = CampaignConfig(
         scenarios=args.scenarios, seed=args.seed,
+        backend=args.backend,
         ks=tuple(args.k), steps=args.steps,
         path_cache_entries=4096 if args.path_cache else 0,
         flow_mode=args.flow_mode)
@@ -183,7 +185,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     print(format_table(
         ["seed", "k", "steps", "checked", "violations", "verdict"],
         report.summary_rows(),
-        title=f"invariant campaign ({config.scenarios} scenarios)",
+        title=f"invariant campaign ({config.scenarios} scenarios, "
+              f"{config.backend})",
     ))
     if report.ok:
         print("all invariants held")
@@ -228,6 +231,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenarios", type=int, default=25)
     p.add_argument("--k", type=int, nargs="+", default=[4],
                    help="fat-tree degrees to draw scenarios from")
+    p.add_argument("--backend", choices=BACKEND_NAMES, default="fattree",
+                   help="topology backend scenarios run on (k scales the "
+                        "non-fat-tree backends; see docs/TOPOLOGIES.md)")
     p.add_argument("--path-cache", action="store_true",
                    help="enable the compiled-path (cut-through) fast path "
                         "in every scenario fabric")

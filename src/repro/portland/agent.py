@@ -75,10 +75,15 @@ class HostRecord:
 class PortlandAgent(SwitchAgent):
     """Control software for one PortLand switch."""
 
-    def __init__(self, switch: PortlandSwitch, config: PortlandConfig) -> None:
+    def __init__(self, switch: PortlandSwitch, config: PortlandConfig,
+                 scheme=None) -> None:
         super().__init__(switch)
         self.switch: PortlandSwitch = switch
         self.config = config
+        #: Topology scheme (None = built-in fat-tree behavior). When the
+        #: scheme resolves routes itself, ``_refresh_entries`` installs
+        #: its ``route:`` entry set instead of the up*-down* entries.
+        self.scheme = scheme
         self.ldp = LdpProcess(switch, config, self)
         self.fm_mac: MacAddress | None = None
 
@@ -320,6 +325,11 @@ class PortlandAgent(SwitchAgent):
         """Recompute topology-dependent entries (idempotent)."""
         if not self._base_installed:
             return
+        if self.scheme is not None:
+            specs = self.scheme.route_entries(self)
+            if specs is not None:
+                self._refresh_route_entries(specs)
+                return
         level = self.level
         if level in (SwitchLevel.EDGE, SwitchLevel.AGGREGATION):
             up = tuple(self._usable_up_ports())
@@ -333,6 +343,17 @@ class PortlandAgent(SwitchAgent):
             self._refresh_agg_down_entries()
         elif level is SwitchLevel.CORE:
             self._refresh_core_pod_entries()
+
+    def _refresh_route_entries(self, specs: list[tuple]) -> None:
+        """Install a scheme-resolved ``route:`` entry set (idempotent),
+        keeping any prescriptive fault overrides layered above it."""
+        wanted = {spec[3]: spec for spec in specs}
+        self.switch.table.remove_where(
+            lambda e: e.name.startswith("route:") and e.name not in wanted)
+        for spec in wanted.values():
+            self._install(spec)
+        for key in self._fault_overrides:
+            self._install_fault_entry(key)
 
     def _usable_up_ports(self) -> list[int]:
         """Uplink ports minus any the fabric manager has blocked."""
@@ -370,8 +391,13 @@ class PortlandAgent(SwitchAgent):
 
     def _install_fault_entry(self, key: tuple[int, int]) -> None:
         avoid = set(self._fault_overrides.get(key, ()))
+        candidates = None
+        if self.scheme is not None:
+            candidates = self.scheme.override_candidate_ports(self)
+        if candidates is None:
+            candidates = self._usable_up_ports()
         ports = tuple(
-            index for index in self._usable_up_ports()
+            index for index in candidates
             if self.ldp.neighbors[index].switch_id not in avoid
         )
         prefix = MacAddress(key[0])

@@ -20,10 +20,12 @@ class ControlNetwork:
     """Wires agents to one fabric manager."""
 
     def __init__(self, sim: Simulator, config: PortlandConfig | None = None,
-                 fabric_manager: FabricManager | None = None) -> None:
+                 fabric_manager: FabricManager | None = None,
+                 scheme=None) -> None:
         self.sim = sim
         self.config = config or PortlandConfig()
-        self.fabric_manager = fabric_manager or FabricManager(sim, self.config)
+        self.fabric_manager = fabric_manager or FabricManager(sim, self.config,
+                                                              scheme=scheme)
         self.links: list[Link] = []
 
     def connect(self, agent: PortlandAgent) -> Link:

@@ -74,9 +74,12 @@ class FabricManager(Node):
     """The PortLand fabric manager node."""
 
     def __init__(self, sim: Simulator, config: PortlandConfig,
-                 name: str = "fabric-manager") -> None:
+                 name: str = "fabric-manager", scheme=None) -> None:
         super().__init__(sim, name, num_ports=0)
         self.config = config
+        #: Topology scheme supplying the override policy (None = the
+        #: built-in fat-tree computation in :mod:`repro.portland.faults`).
+        self.scheme = scheme
         self.mac = bridge_mac_for(name)
 
         # Connectivity: switch id <-> FM port.
@@ -340,7 +343,10 @@ class FabricManager(Node):
         self.multicast.on_topology_change(view)
 
     def _push_override_changes(self, view: FabricView) -> None:
-        new = compute_overrides(view)
+        if self.scheme is not None:
+            new = self.scheme.compute_overrides(view)
+        else:
+            new = compute_overrides(view)
         updates, clears = diff_overrides(self._sent_overrides, new)
         for switch_id, (value, bits), avoid in updates:
             self.send_to_switch(switch_id,

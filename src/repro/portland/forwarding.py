@@ -61,6 +61,12 @@ def entry_direction(name: str) -> str:
     """
     if name == "default-up" or name.startswith("fault:"):
         return "up"
+    if name.startswith("route:"):
+        # Scheme-resolved routes (e.g. Jellyfish's shortest-path DAG)
+        # have no up/down polarity; their loop-freedom argument is
+        # monotone distance descent, checked by the scheme's oracle,
+        # not by the up*-down* automaton.
+        return "route"
     if name.startswith(("down:", "pod:")):
         return "down"
     if name.startswith("host:"):
@@ -129,6 +135,21 @@ def down_to_pod(pod: int, ports: tuple[int, ...]) -> tuple[Match, tuple, int, st
 def default_up(ports: tuple[int, ...]) -> tuple[Match, tuple, int, str]:
     """Edge/aggregation: everything else goes up, ECMP-hashed."""
     return (Match(), (SelectByHash(ports),), PRIO_DEFAULT_UP, "default-up")
+
+
+def route_entry(pod: int, position: int,
+                ports: tuple[int, ...]) -> tuple[Match, tuple, int, str]:
+    """Scheme-resolved route toward one destination locator prefix.
+
+    Sits at default-up priority so prescriptive fault overrides
+    (PRIO_FAULT) shadow it for their prefix, exactly as they shadow the
+    fat tree's default-up entry. Empty ``ports`` is an explicit drop
+    (destination currently next-hop-less from here).
+    """
+    value, bits = position_prefix(pod, position)
+    return (Match(eth_dst=value, eth_dst_mask=mac_prefix_mask(bits)),
+            (SelectByHash(ports),) if ports else (),
+            PRIO_DEFAULT_UP, f"route:{pod}.{position}")
 
 
 def fault_override(prefix: MacAddress, prefix_len: int,

@@ -145,6 +145,28 @@ class LdpProcess:
         self._started_at = self.sim.now
         self._beacon.start(self._rng.uniform(0, self.config.ldm_period_s))
         self._checker.start()
+        # A preseeded switch (see :meth:`preseed`) is located from the
+        # first instant; for dynamically discovered switches this is a
+        # no-op (location_complete is still False here).
+        self._maybe_announce()
+
+    def preseed(self, level: SwitchLevel, pod: int | None = None,
+                position: int | None = None,
+                host_ports: tuple[int, ...] = ()) -> None:
+        """Statically assign this switch's location before :meth:`start`.
+
+        Topology schemes whose coordinates are known at build time (a
+        generated leaf-spine design, Jellyfish's uniform ToR mesh —
+        which LDP's three-level classifier cannot even express) install
+        them here. Beaconing, neighbor discovery, and liveness detection
+        all still run; only the classification/arbitration half of LDP
+        is bypassed (``_classify`` returns immediately once ``level`` is
+        set).
+        """
+        self.level = level
+        self.pod = pod
+        self.position = position
+        self.host_ports = set(host_ports)
 
     @property
     def location_complete(self) -> bool:

@@ -40,3 +40,34 @@ __all__ += [
     "to_graph",
     "validate_tree",
 ]
+
+from repro.topology.jellyfish import build_jellyfish, expand_jellyfish
+from repro.topology.scheme import (
+    BACKEND_NAMES,
+    FatTreeScheme,
+    JellyfishScheme,
+    TopologyScheme,
+    TwoLayerFatTreeScheme,
+    scheme_for_backend,
+)
+from repro.topology.twolayer import (
+    TwoLayerDesign,
+    build_designed_twolayer,
+    build_twolayer,
+    design_twolayer,
+)
+
+__all__ += [
+    "BACKEND_NAMES",
+    "FatTreeScheme",
+    "JellyfishScheme",
+    "TopologyScheme",
+    "TwoLayerDesign",
+    "TwoLayerFatTreeScheme",
+    "build_designed_twolayer",
+    "build_jellyfish",
+    "build_twolayer",
+    "design_twolayer",
+    "expand_jellyfish",
+    "scheme_for_backend",
+]

@@ -50,6 +50,10 @@ class PortlandFabric:
     path_cache: PathCache | None = None
     #: Flow-level (fluid) engine (None unless ``config.flow_mode``).
     flow_engine: FlowEngine | None = None
+    #: Topology scheme the fabric was built with (None = built-in fat
+    #: tree; :meth:`routing_scheme` lazily materializes the equivalent
+    #: FatTreeScheme for consumers that need the oracle interface).
+    scheme: object | None = None
 
     def host_list(self) -> list[Host]:
         """Hosts in deterministic (spec) order."""
@@ -68,8 +72,22 @@ class PortlandFabric:
             agent.start()
 
     def located(self) -> bool:
-        """Whether every switch has completed location discovery."""
-        return all(agent.ldp.location_complete for agent in self.agents.values())
+        """Whether every switch has completed location discovery (and,
+        for schemes that preseed locations, heard all its wired
+        neighbors — preseeding makes ``location_complete`` trivially
+        true before any route exists)."""
+        if not all(agent.ldp.location_complete
+                   for agent in self.agents.values()):
+            return False
+        return self.scheme is None or self.scheme.converged(self)
+
+    def routing_scheme(self):
+        """The scheme governing this fabric's routing + path oracle."""
+        if self.scheme is None:
+            from repro.topology.scheme import FatTreeScheme
+
+            self.scheme = FatTreeScheme(self.tree)
+        return self.scheme
 
     def run_until_located(self, timeout_s: float = 5.0,
                           step_s: float = 0.02) -> float:
@@ -151,12 +169,21 @@ def build_portland_fabric(
     config: PortlandConfig | None = None,
     link_params: LinkParams | None = None,
     tree: FatTree | None = None,
+    scheme=None,
 ) -> PortlandFabric:
-    """Build (but do not start) a PortLand fabric on a k-ary fat tree."""
+    """Build (but do not start) a PortLand fabric.
+
+    With no ``scheme`` this is the classic dynamically-discovered k-ary
+    fat tree. Passing a :class:`~repro.topology.scheme.TopologyScheme`
+    switches the locator assignment, route resolution, and fault policy
+    to that backend (its ``tree`` supplies the structure unless ``tree``
+    is given explicitly).
+    """
     config = config or PortlandConfig()
     params = link_params or LinkParams()
-    tree = tree or build_fat_tree(k)
-    fabric = PortlandFabric(sim=sim, tree=tree, config=config)
+    if tree is None:
+        tree = scheme.tree if scheme is not None else build_fat_tree(k)
+    fabric = PortlandFabric(sim=sim, tree=tree, config=config, scheme=scheme)
 
     # Port counts come from the wiring (irregular multi-rooted trees have
     # different radices per level), with the fat-tree k as the floor.
@@ -178,12 +205,21 @@ def build_portland_fabric(
                                 agent_delay_s=config.agent_delay_s,
                                 decision_cache_entries=config.decision_cache_entries)
         switch.path_cache = fabric.path_cache
-        agent = PortlandAgent(switch, config)
+        agent = PortlandAgent(switch, config, scheme=scheme)
         switch.attach_agent(agent)
         fabric.switches[name] = switch
         fabric.agents[name] = agent
 
-    control = ControlNetwork(sim, config)
+    if scheme is not None:
+        locations = scheme.static_locations()
+        if locations:
+            for name, location in locations.items():
+                fabric.agents[name].ldp.preseed(
+                    location.level, pod=location.pod,
+                    position=location.position,
+                    host_ports=tuple(location.host_ports))
+
+    control = ControlNetwork(sim, config, scheme=scheme)
     fabric.control = control
     fabric.fabric_manager = control.fabric_manager
     for agent in fabric.agents.values():

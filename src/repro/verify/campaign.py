@@ -27,9 +27,9 @@ from repro.portland.migration import VmMigration
 from repro.sim.simulator import Simulator
 from repro.topology.builder import build_portland_fabric
 from repro.topology.fattree import build_fat_tree
+from repro.topology.scheme import scheme_for_backend
 from repro.verify.invariants import Violation
 from repro.verify.oracle import InvariantOracle
-from repro.workloads.failures import switch_link_names
 
 
 @dataclass
@@ -38,6 +38,10 @@ class CampaignConfig:
 
     scenarios: int = 25
     seed: int = 7
+    #: Topology backend scenarios run on ("fattree", "jellyfish",
+    #: "twolayer"); see :func:`repro.topology.scheme.scheme_for_backend`
+    #: for how ``ks`` scales the non-fat-tree backends.
+    backend: str = "fattree"
     #: Fat-tree degrees to draw from, one per scenario.
     ks: tuple[int, ...] = (4,)
     #: Random steps per scenario.
@@ -110,13 +114,16 @@ class Reproducer:
     #: failure is sequence-dependent, or the shrink budget ran out) and
     #: must be replayed from the scenario seed.
     static: bool = True
+    #: Topology backend the scenario ran on (replay must match it).
+    backend: str = "fattree"
 
     def __str__(self) -> str:
+        tag = "" if self.backend == "fattree" else f" backend={self.backend}"
         if self.static:
             how = " + ".join(f"{a}<->{b}" for a, b in self.links) or "(no links)"
-            return (f"seed={self.scenario_seed} k={self.k} "
+            return (f"seed={self.scenario_seed} k={self.k}{tag} "
                     f"fail[{how}] -> {'/'.join(self.kinds)}")
-        return (f"seed={self.scenario_seed} k={self.k} not statically "
+        return (f"seed={self.scenario_seed} k={self.k}{tag} not statically "
                 f"minimised (replay the scenario seed) -> "
                 f"{'/'.join(self.kinds)}")
 
@@ -162,14 +169,19 @@ def scenario_seed_for(config: CampaignConfig, index: int) -> int:
 
 
 def _converged_fabric(sim: Simulator, k: int, hosts_per_edge: int,
-                      path_cache_entries: int = 0, flow_mode: bool = False):
+                      path_cache_entries: int = 0, flow_mode: bool = False,
+                      backend: str = "fattree", topo_seed: int = 0):
     from repro.portland.config import PortlandConfig
 
-    tree = build_fat_tree(k, hosts_per_edge=hosts_per_edge)
-    fabric = build_portland_fabric(
-        sim, tree=tree,
-        config=PortlandConfig(path_cache_entries=path_cache_entries,
-                              flow_mode=flow_mode))
+    config = PortlandConfig(path_cache_entries=path_cache_entries,
+                            flow_mode=flow_mode)
+    scheme = scheme_for_backend(backend, k=k, hosts_per_edge=hosts_per_edge,
+                                topo_seed=topo_seed)
+    if scheme is None:
+        tree = build_fat_tree(k, hosts_per_edge=hosts_per_edge)
+        fabric = build_portland_fabric(sim, tree=tree, config=config)
+    else:
+        fabric = build_portland_fabric(sim, config=config, scheme=scheme)
     fabric.start()
     fabric.run_until_located()
     fabric.announce_hosts()
@@ -204,14 +216,14 @@ class _MigrationPlanner:
 
     def __init__(self, fabric) -> None:
         self.fabric = fabric
-        half = fabric.tree.k // 2
+        scheme = fabric.routing_scheme()
         self.attachment = {spec.name: (spec.edge_switch, spec.edge_port)
                            for spec in fabric.tree.hosts}
         occupied: dict[str, set[int]] = {}
         for edge, port in self.attachment.values():
             occupied.setdefault(edge, set()).add(port)
         self.free: dict[str, set[int]] = {
-            edge: set(range(half)) - occupied.get(edge, set())
+            edge: scheme.host_port_capacity(edge) - occupied.get(edge, set())
             for edge in fabric.tree.edge_names
         }
 
@@ -245,12 +257,14 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
 
     sim = Simulator(seed=scenario_seed)
     fabric = _converged_fabric(sim, k, config.hosts_per_edge,
-                               config.path_cache_entries, config.flow_mode)
+                               config.path_cache_entries, config.flow_mode,
+                               backend=config.backend,
+                               topo_seed=scenario_seed)
     oracle = InvariantOracle(fabric)
     _start_probes(fabric, rng, config)
     sim.run(until=sim.now + 0.1)
 
-    candidates = switch_link_names(fabric.tree)
+    candidates = fabric.routing_scheme().fault_candidate_links()
     failed: dict[tuple[str, str], object] = {}
     planner = _MigrationPlanner(fabric)
     by_switch: dict[str, list[tuple[str, str]]] = {}
@@ -324,11 +338,14 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
 
 def static_violations_for_links(k: int, links, hosts_per_edge: int = 1,
                                 settle_s: float = 0.6,
-                                sim_seed: int = 1) -> list[Violation]:
+                                sim_seed: int = 1,
+                                backend: str = "fattree",
+                                topo_seed: int = 0) -> list[Violation]:
     """Static-check violations after failing ``links`` simultaneously on
     a fresh, converged fabric. The reproduction predicate for shrinking."""
     sim = Simulator(seed=sim_seed)
-    fabric = _converged_fabric(sim, k, hosts_per_edge)
+    fabric = _converged_fabric(sim, k, hosts_per_edge,
+                               backend=backend, topo_seed=topo_seed)
     for a, b in links:
         fabric.link_between(a, b).fail()
     sim.run(until=sim.now + settle_s)
@@ -339,7 +356,9 @@ def static_violations_for_links(k: int, links, hosts_per_edge: int = 1,
 
 
 def shrink_failure_links(k: int, links, predicate=None,
-                         hosts_per_edge: int = 1) -> list[tuple[str, str]]:
+                         hosts_per_edge: int = 1,
+                         backend: str = "fattree",
+                         topo_seed: int = 0) -> list[tuple[str, str]]:
     """Greedy one-at-a-time minimisation of a failing link set.
 
     ``predicate(candidate_links) -> bool`` decides whether the violation
@@ -349,7 +368,8 @@ def shrink_failure_links(k: int, links, predicate=None,
     if predicate is None:
         def predicate(candidate):
             return bool(static_violations_for_links(
-                k, candidate, hosts_per_edge=hosts_per_edge))
+                k, candidate, hosts_per_edge=hosts_per_edge,
+                backend=backend, topo_seed=topo_seed))
     current = list(links)
     changed = True
     while changed:
@@ -387,15 +407,19 @@ def run_campaign(config: CampaignConfig | None = None,
         if result.failed_links and shrinks_left > 0 and bool(
                 static_violations_for_links(
                     result.k, result.failed_links,
-                    hosts_per_edge=config.hosts_per_edge)):
+                    hosts_per_edge=config.hosts_per_edge,
+                    backend=config.backend, topo_seed=seed)):
             shrinks_left -= 1
             minimal = shrink_failure_links(
                 result.k, result.failed_links,
-                hosts_per_edge=config.hosts_per_edge)
-            reproducer = Reproducer(seed, result.k, minimal, kinds, static=True)
+                hosts_per_edge=config.hosts_per_edge,
+                backend=config.backend, topo_seed=seed)
+            reproducer = Reproducer(seed, result.k, minimal, kinds,
+                                    static=True, backend=config.backend)
         else:
             reproducer = Reproducer(seed, result.k, result.failed_links,
-                                    kinds, static=False)
+                                    kinds, static=False,
+                                    backend=config.backend)
         report.reproducers.append(reproducer)
         if log is not None:
             log(f"  reproducer: {reproducer}")

@@ -20,7 +20,6 @@ from typing import Any
 from repro.net.addresses import MacAddress
 from repro.portland.messages import SwitchLevel
 from repro.portland.pmac import POSITION_PREFIX_LEN, Pmac
-from repro.verify.reachability import deliverable_via_agg, deliverable_via_core
 
 
 @dataclass(frozen=True)
@@ -151,6 +150,7 @@ def check_override_soundness(fabric) -> list[Violation]:
         return []
     now = fabric.sim.now
     view = fm.view()
+    scheme = fabric.routing_scheme()
     edges_by_location = {
         (view.pod(edge), view.position(edge)): edge for edge in view.edges()
     }
@@ -159,7 +159,6 @@ def check_override_soundness(fabric) -> list[Violation]:
     for name, agent in fabric.agents.items():
         if not agent._fault_overrides:
             continue
-        level = agent.level
         for (value, bits), avoid_ids in agent._fault_overrides.items():
             if bits != POSITION_PREFIX_LEN:
                 violations.append(Violation(
@@ -180,13 +179,10 @@ def check_override_soundness(fabric) -> list[Violation]:
                     # reports entirely (LDP drops long-dead links, so a
                     # stale override can outlive its link's adjacency).
                     continue
-                if level is SwitchLevel.EDGE:
-                    viable = deliverable_via_agg(view, neighbor, dst_edge)
-                elif level is SwitchLevel.AGGREGATION:
-                    viable = deliverable_via_core(view, neighbor, dst_edge)
-                else:
-                    viable = False
-                if viable:
+                # Viability of the avoided first hop is the scheme's
+                # call — each backend knows its own forwarding
+                # discipline (up*-down* descent vs. shortest-path DAG).
+                if scheme.avoid_viable(view, agent, neighbor, dst_edge):
                     violations.append(Violation(
                         "override-soundness", name, now,
                         {"prefix": str(pmac), "avoid": neighbor,

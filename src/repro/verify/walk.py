@@ -36,7 +36,6 @@ from repro.switching.flow_table import (
 )
 from repro.switching.switch import FlowSwitch
 from repro.verify.invariants import Violation, agents_by_switch_id
-from repro.verify.reachability import edge_reachable
 
 #: Walk-depth backstop; a fat-tree unicast path has at most 5 switch hops,
 #: so hitting this means the loop detector is about to fire anyway.
@@ -153,10 +152,14 @@ def walk_unicast(fabric, src_host, dst_record, dst_host,
                     delivered = True
 
     if drops:
+        # Whether a drop is a blackhole is the topology scheme's call:
+        # its reachability oracle knows which paths the backend's
+        # forwarding discipline is even allowed to take.
         dst_agent = agents.get(dst_record.edge_id)
         reachable = (
             src_edge_id is not None and dst_agent is not None
-            and edge_reachable(view, src_edge_id, dst_agent.switch_id)
+            and fabric.routing_scheme().edge_reachable(
+                view, src_edge_id, dst_agent.switch_id)
         )
         if reachable:
             for where, reason in sorted(set(drops)):

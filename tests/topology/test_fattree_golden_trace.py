@@ -1,0 +1,122 @@
+"""Golden-trace pin for the fat-tree backend.
+
+A k=4 fabric is converged from a fixed seed and runs a deterministic
+cross-pod ping-pong workload. Every ``verify.hop`` record of every
+probe — timestamps included — plus the flow-entry and port counters of
+every switch are serialized to canonical JSON and byte-compared against
+``tests/data/golden_fattree_k4.json``, captured before the
+TopologyScheme refactor. Any behavioral drift in location discovery,
+PMAC assignment, table programming, ECMP hashing, or link timing for
+the default backend shows up here as a byte diff.
+
+Regenerate (only when a change is *intended* to alter behavior) with::
+
+    PYTHONPATH=src python tests/topology/test_fattree_golden_trace.py --write
+"""
+
+import json
+from pathlib import Path
+
+from repro.host.apps.pingpong import UdpEchoServer, UdpPinger
+from repro.net.packet import AppData
+from repro.portland.config import PortlandConfig
+from repro.sim import Simulator, TraceCollector
+from repro.topology import build_portland_fabric
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_fattree_k4.json"
+
+SEED = 20090817  # SIGCOMM'09 presentation day; arbitrary but fixed.
+PAIRS = ((0, 15), (3, 12), (5, 10), (9, 6))
+PINGS = 5
+PING_GAP_S = 0.004
+
+
+def capture_golden() -> str:
+    """Run the pinned workload; return the canonical JSON trace."""
+    sim = Simulator(seed=SEED)
+    fabric = build_portland_fabric(sim, k=4, config=PortlandConfig())
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    hosts = fabric.host_list()
+
+    collector = TraceCollector(sim.trace, "verify.hop")
+    pingers = []
+    for stagger, (src, dst) in enumerate(PAIRS):
+        UdpEchoServer(hosts[dst], port=7)
+        pinger = UdpPinger(hosts[src], hosts[dst].ip)
+        for i in range(PINGS):
+            sim.schedule(0.0007 * stagger + PING_GAP_S * i, pinger.ping)
+        pingers.append(pinger)
+    sim.run(until=sim.now + PING_GAP_S * PINGS + 0.01)
+    collector.close()
+
+    hops = {}
+    for record in collector.records:
+        ip = record.detail["payload"]
+        udp = getattr(ip, "payload", None)
+        app = getattr(udp, "payload", None)
+        if not isinstance(app, AppData) or not app.flow_id:
+            continue  # control traffic (ARP/LDP punts)
+        key = f"{app.flow_id}#{app.seq}"
+        hops.setdefault(key, []).append([
+            repr(record.time), record.source, record.detail["entry"],
+            record.detail["in_port"], str(record.detail["dst"]),
+            record.detail["ethertype"],
+        ])
+
+    entry_counters = {}
+    port_counters = {}
+    for name in sorted(fabric.switches):
+        switch = fabric.switches[name]
+        touched = [[e.name, e.packets, e.bytes]
+                   for e in switch.table if e.packets > 0]
+        if touched:
+            entry_counters[name] = touched
+        ports = {}
+        for port in switch.ports:
+            c = port.counters
+            if c.tx_frames or c.rx_frames:
+                ports[port.index] = [c.tx_frames, c.tx_bytes,
+                                     c.rx_frames, c.rx_bytes, c.drops]
+        if ports:
+            port_counters[name] = ports
+
+    rtts = {hosts[src].name: [[seq, repr(rtt)] for seq, rtt in pinger.rtts]
+            for (src, _dst), pinger in zip(PAIRS, pingers)}
+
+    blob = {
+        "seed": SEED,
+        "pairs": [list(p) for p in PAIRS],
+        "hops": hops,
+        "entry_counters": entry_counters,
+        "port_counters": port_counters,
+        "rtts": rtts,
+    }
+    return json.dumps(blob, indent=1, sort_keys=True) + "\n"
+
+
+def test_fattree_golden_trace_is_byte_identical():
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing — run this module with --write to capture")
+    golden = GOLDEN_PATH.read_text()
+    current = capture_golden()
+    if current != golden:
+        want = json.loads(golden)
+        got = json.loads(current)
+        for section in want:
+            assert got[section] == want[section], (
+                f"fat-tree behavior drifted from golden trace in {section!r}")
+        raise AssertionError("golden trace drifted (formatting)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(capture_golden())
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print(__doc__)

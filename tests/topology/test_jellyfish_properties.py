@@ -1,0 +1,104 @@
+"""Property tests for Jellyfish structure generation (Hypothesis).
+
+The guarantees the routing scheme leans on — r-regularity (every route
+computation assumes a uniform switch-port budget), connectedness (the
+shortest-path DAG must cover every pair), seed determinism (campaign
+scenarios replay bit-for-bit), and regularity-preserving incremental
+expansion (the NSDI'12 §3 rewiring argument) — hold across the whole
+parameter space, not just the scales the conformance suite pins.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.jellyfish import (
+    build_jellyfish,
+    expand_jellyfish,
+    expand_regular_graph,
+    jellyfish_graph,
+    random_regular_connected,
+)
+
+
+def _valid_rrg_params(params):
+    degree, num = params
+    return degree < num and (degree * num) % 2 == 0
+
+
+#: (degree, num_switches) pairs with a realizable regular graph.
+RRG_PARAMS = st.tuples(st.integers(2, 5), st.integers(4, 24)).filter(
+    _valid_rrg_params)
+
+#: Even degrees only: odd-degree graphs cannot be expanded by one node.
+EXPANDABLE_PARAMS = st.tuples(st.sampled_from([2, 4]),
+                              st.integers(6, 20)).filter(_valid_rrg_params)
+
+SEEDS = st.integers(0, 10_000)
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=RRG_PARAMS, seed=SEEDS)
+def test_rrg_is_regular_and_connected(params, seed):
+    degree, num = params
+    graph = random_regular_connected(degree, num, seed)
+    assert graph.number_of_nodes() == num
+    assert all(d == degree for _node, d in graph.degree())
+    assert nx.is_connected(graph)
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=RRG_PARAMS, seed=SEEDS)
+def test_rrg_is_seed_deterministic(params, seed):
+    degree, num = params
+    first = random_regular_connected(degree, num, seed)
+    second = random_regular_connected(degree, num, seed)
+    assert sorted(first.edges()) == sorted(second.edges())
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=EXPANDABLE_PARAMS, seed=SEEDS)
+def test_expansion_preserves_regularity_and_connectivity(params, seed):
+    degree, num = params
+    graph = random_regular_connected(degree, num, seed)
+    expanded = expand_regular_graph(graph, num, seed=seed)
+    assert expanded.number_of_nodes() == num + 1
+    assert all(d == degree for _node, d in expanded.degree())
+    # Each removed edge's endpoints stay connected through the new node.
+    assert nx.is_connected(expanded)
+    # Old nodes only lost edges that were rewired through the new node.
+    lost = set(graph.edges()) - set(expanded.edges())
+    assert len(lost) == degree // 2
+    assert all(expanded.has_edge(a, num) and expanded.has_edge(b, num)
+               for a, b in lost)
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=EXPANDABLE_PARAMS, seed=SEEDS,
+       hosts=st.integers(1, 2), spares=st.integers(0, 1))
+def test_expand_jellyfish_preserves_structure(params, seed, hosts, spares):
+    degree, num = params
+    tree = build_jellyfish(num, degree, hosts_per_switch=hosts,
+                           seed=seed, spare_host_ports=spares)
+    grown = expand_jellyfish(tree, seed=seed)
+    assert len(grown.edge_names) == num + 1
+    # Same host/spare port layout everywhere, including the new switch.
+    assert len(grown.host_wires) == (num + 1) * hosts
+    base = min(min(w.port_a, w.port_b) for w in grown.switch_wires)
+    assert base == hosts + spares
+    expanded_graph = jellyfish_graph(grown)
+    assert all(d == degree for _node, d in expanded_graph.degree())
+    assert nx.is_connected(expanded_graph)
+    # Existing hosts keep their attachment (expansion is incremental).
+    old_hosts = {(h.name, h.edge_switch, h.edge_port) for h in tree.hosts}
+    new_hosts = {(h.name, h.edge_switch, h.edge_port) for h in grown.hosts}
+    assert old_hosts <= new_hosts
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=SEEDS)
+def test_build_is_seed_deterministic(seed):
+    first = build_jellyfish(10, 3, seed=seed, spare_host_ports=1)
+    second = build_jellyfish(10, 3, seed=seed, spare_host_ports=1)
+    assert first.switch_wires == second.switch_wires
+    assert first.host_wires == second.host_wires
