@@ -1,6 +1,6 @@
 # Convenience targets for the PortLand reproduction.
 
-.PHONY: install test bench bench-kernel bench-smoke bench-flows bench-flows-smoke bench-topo examples lint-clean verify verify-flows verify-topo test-topo all
+.PHONY: install test bench bench-kernel bench-smoke bench-flows bench-flows-smoke bench-topo bench-parallel examples lint-clean verify verify-flows verify-topo verify-parallel test-topo all
 
 install:
 	pip install -e .
@@ -15,10 +15,10 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Simulator-substrate benchmarks (event kernel, flow table, decision
-# cache); machine-readable results land in BENCH_sim_kernel.json.
+# cache); writes BENCH_sim_kernel.json (common schema, see
+# repro.metrics.benchout).
 bench-kernel:
-	PYTHONPATH=src pytest benchmarks/bench_sim_kernel.py --benchmark-only \
-		--benchmark-json=BENCH_sim_kernel.json
+	PYTHONPATH=src pytest benchmarks/bench_sim_kernel.py --benchmark-only
 
 # Reduced-iteration fast-path ratio gate (no JSON artifact). Also part
 # of the plain tier-1 test run, since it lives under tests/.
@@ -56,9 +56,21 @@ verify-topo:
 test-topo:
 	PYTHONPATH=src pytest tests/conformance tests/topology -q -m ""
 
-# Cross-backend diversity/completion smoke (ratio-logged, not gated).
+# Cross-backend diversity/completion smoke (ratio-logged, not gated);
+# writes BENCH_topo.json.
 bench-topo:
 	PYTHONPATH=src pytest benchmarks/bench_topologies.py --benchmark-only -q
+
+# Sharded parallel kernel: k=16 all-to-all, sharded vs single-process,
+# determinism asserted then speedup/overhead gated; writes
+# BENCH_parallel.json (docs/PERF.md).
+bench-parallel:
+	PYTHONPATH=src pytest benchmarks/bench_parallel.py --benchmark-only -q
+
+# The fixed-seed campaign sharded over 4 worker processes — results are
+# identical to `make verify`, only wall time changes.
+verify-parallel:
+	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25 --parallel 4
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

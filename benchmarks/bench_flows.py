@@ -18,11 +18,10 @@ not fixed durations: the LDP beacon background runs in both modes and
 would otherwise dominate the ratio.
 """
 
-import json
 import time
-from pathlib import Path
 
-from common import converged_portland, print_header, run_once, save_results
+from common import (bench_payload, converged_portland, print_header,
+                    run_once, save_results, write_bench_json)
 
 from repro.host.apps.udp_stream import UdpStreamReceiver, UdpStreamSender
 from repro.metrics.utilization import snapshot, usage_since
@@ -189,11 +188,16 @@ def test_fluid_shuffle_event_reduction(benchmark):
           f"(gate {100 * RATE_GATE:.0f}%)")
 
     save_results("flows", result)
-    try:
-        artifact = Path(__file__).parent.parent / "BENCH_flows.json"
-        artifact.write_text(json.dumps(result, indent=2) + "\n")
-    except OSError:
-        pass
+    write_bench_json("flows", bench_payload(
+        "flows",
+        ratio=result["event_reduction"],
+        events=result["frame"]["events"] + result["fluid"]["events"],
+        wall_s=result["frame"]["wall_s"] + result["fluid"]["wall_s"],
+        config={"k": K, "bytes_per_flow": BYTES_PER_FLOW,
+                "event_reduction_gate": EVENT_REDUCTION_GATE},
+        frame=result["frame"], fluid=result["fluid"],
+        agreement=agreement,
+        wall_clock_speedup=result["wall_clock_speedup"]))
 
     assert result["event_reduction"] >= EVENT_REDUCTION_GATE
     assert agreement["max_link_bytes_divergence"] <= LINK_BYTES_GATE

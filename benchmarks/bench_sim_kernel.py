@@ -9,7 +9,8 @@ harnesses.
 
 import timeit
 
-from common import converged_portland, print_header
+from common import (bench_payload, converged_portland, print_header,
+                    write_bench_json)
 
 from repro.net import AppData, EthernetFrame, IPv4Packet, UdpDatagram, mac
 from repro.net.addresses import IPv4Address
@@ -185,5 +186,18 @@ def test_compiled_path_fast_path_k8_all_to_all(benchmark):
         f"CUT-THROUGH - k=8 all-to-all, {len(workload_compiled):,} flows, "
         f"{hops:,} hops: {hops / compiled_s:,.0f} hops/s compiled vs "
         f"{hops / base_s:,.0f} decision-cached ({speedup:.2f}x)")
+    write_bench_json("sim_kernel", bench_payload(
+        "sim_kernel",
+        # Headline: compiled-path replay speedup over the decision-cached
+        # walk on the same k=8 all-to-all workload.
+        ratio=speedup,
+        events=hops,
+        wall_s=compiled_s,
+        config={"k": 8, "flows": len(workload_compiled),
+                "decision_cache_entries": 4096, "path_cache_entries": 4096,
+                "speedup_gate": 3.0},
+        baseline_wall_s=base_s,
+        compiled_hops_per_s=hops / compiled_s,
+        baseline_hops_per_s=hops / base_s))
     assert speedup >= 3.0, (
         f"compiled-path speedup {speedup:.2f}x below the 3x floor")

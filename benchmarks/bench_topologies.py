@@ -16,7 +16,8 @@ host count and bisection, so the assertion is only that every backend
 converges, finishes the shuffle, and offers at least one path per pair.
 """
 
-from common import print_header, run_once, save_results
+from common import (bench_payload, print_header, run_once, save_results,
+                    write_bench_json)
 
 from repro import LinkParams, Simulator, build_portland_fabric
 from repro.metrics.tables import format_table
@@ -79,6 +80,7 @@ def run_backend(backend: str) -> dict:
         "ecmp_paths": ecmp,
         "ksp_paths": ksp,
         "shuffle_ms": elapsed * 1000,
+        "events": sim.events_executed,
     }
 
 
@@ -101,6 +103,18 @@ def test_topology_backends(benchmark):
     ))
     save_results("bench_topologies", {"k": K, "bytes": BYTES_PER_FLOW,
                                       "backends": rows})
+    write_bench_json("topo", bench_payload(
+        "topo",
+        # Headline: the fat tree's mean ECMP path diversity (paths per
+        # edge pair vs a single-path fabric) — the multipath factor the
+        # other backends are compared against in the printed table.
+        ratio=base["ecmp_paths"],
+        events=sum(r["events"] for r in rows),
+        wall_s=benchmark.stats.stats.total,
+        config={"k": K, "bytes_per_flow": BYTES_PER_FLOW,
+                "path_limit": PATH_LIMIT,
+                "backends": list(BACKEND_NAMES)},
+        backends=rows))
 
     # Shape only: everything converged, finished, and is multipath-capable.
     for r in rows:

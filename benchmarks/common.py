@@ -10,6 +10,11 @@ result (who wins, by roughly what factor) rather than absolute numbers.
 from __future__ import annotations
 
 from repro import LinkParams, Simulator, build_portland_fabric
+from repro.metrics.benchout import (  # noqa: F401  (re-exported for benches)
+    bench_payload,
+    validate_bench_payload,
+    write_bench_json,
+)
 from repro.topology.builder import PortlandFabric
 
 

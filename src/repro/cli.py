@@ -180,7 +180,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         backend=args.backend,
         ks=tuple(args.k), steps=args.steps,
         path_cache_entries=4096 if args.path_cache else 0,
-        flow_mode=args.flow_mode)
+        flow_mode=args.flow_mode, parallel=args.parallel)
     report = run_campaign(config, log=print if not args.quiet else None)
     print(format_table(
         ["seed", "k", "steps", "checked", "violations", "verdict"],
@@ -243,6 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "checks every resolved flow path")
     p.add_argument("--steps", type=int, default=4,
                    help="random fault/migration steps per scenario")
+    p.add_argument("--parallel", type=int, default=1, metavar="N",
+                   help="shard scenarios over N worker processes "
+                        "(results identical to sequential)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-scenario progress lines")
     p.set_defaults(fn=cmd_verify)

@@ -86,6 +86,13 @@ class FlowEngine:
         self.recomputes = 0
         self.reresolutions = 0
         self.stall_events = 0
+        #: Times a routed flow was allocated less than its demand (its
+        #: max-min share hit a saturated link). Zero over a whole run
+        #: certifies the run was demand-limited — the regime in which
+        #: flows do not couple through shared links, which is what the
+        #: sharded kernel's per-shard fluid engines rely on (each shard
+        #: computes rates from its own flows only; see docs/PERF.md).
+        self.bottleneck_events = 0
 
     # ------------------------------------------------------------------
     # Flow admission / teardown
@@ -341,6 +348,8 @@ class FlowEngine:
                 flow._path_sig = ()
                 self._set_rate(flow, 0.0)
             else:
+                if rates[i] < demands[i] - _EPS_BPS:
+                    self.bottleneck_events += 1
                 self._set_rate(flow, rates[i] / flow.gross_per_payload)
 
     def _set_rate(self, flow: Flow, rate_bps: float) -> None:
@@ -385,4 +394,5 @@ class FlowEngine:
             "recomputes": self.recomputes,
             "reresolutions": self.reresolutions,
             "stall_events": self.stall_events,
+            "bottleneck_events": self.bottleneck_events,
         }

@@ -1,0 +1,94 @@
+"""Common schema for root-level ``BENCH_<name>.json`` artifacts.
+
+Every ``make bench-*`` target writes one of these at the repo root so
+CI (and humans skimming a checkout) can read headline numbers without
+parsing benchmark stdout. The schema is deliberately tiny and versioned:
+
+    {
+      "bench":  "<name>",        # matches BENCH_<name>.json
+      "schema": 1,
+      "ratio":  <number>,        # the headline speedup/reduction ratio
+      "events": <int>,           # simulated events behind the headline
+      "wall_s": <number>,        # wall-clock seconds behind the headline
+      "config": { ... },         # knobs that produced the number
+      ...                        # free-form extras per benchmark
+    }
+
+``tests/test_bench_smoke.py`` validates every committed artifact against
+:func:`validate_bench_payload`, so a benchmark that drifts from the
+schema fails tier-1, not just the bench lane.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+#: Keys every payload must carry, with accepted types.
+_REQUIRED = {
+    "bench": str,
+    "schema": int,
+    "ratio": (int, float),
+    "events": int,
+    "wall_s": (int, float),
+    "config": dict,
+}
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def bench_payload(name: str, ratio: float, events: int, wall_s: float,
+                  config: dict, **extra) -> dict:
+    """Assemble a schema-conformant payload (extras ride along)."""
+    payload = {
+        "bench": name,
+        "schema": SCHEMA_VERSION,
+        "ratio": float(ratio),
+        "events": int(events),
+        "wall_s": float(wall_s),
+        "config": dict(config),
+    }
+    payload.update(extra)
+    validate_bench_payload(payload)
+    return payload
+
+
+def validate_bench_payload(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` matches the schema."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"bench payload must be a dict, got {type(payload)}")
+    for key, types in _REQUIRED.items():
+        if key not in payload:
+            raise ValueError(f"bench payload missing required key {key!r}")
+        if not isinstance(payload[key], types):
+            raise ValueError(
+                f"bench payload key {key!r} has type "
+                f"{type(payload[key]).__name__}, expected {types}")
+    if isinstance(payload["ratio"], bool) or isinstance(payload["events"], bool):
+        raise ValueError("bench payload numerics must not be booleans")
+    if payload["schema"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"bench payload schema {payload['schema']} != {SCHEMA_VERSION}")
+    if payload["bench"] == "":
+        raise ValueError("bench payload name must be non-empty")
+
+
+def write_bench_json(name: str, payload: dict,
+                     root: Path | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path."""
+    validate_bench_payload(payload)
+    if payload["bench"] != name:
+        raise ValueError(
+            f"payload bench {payload['bench']!r} != file name {name!r}")
+    path = (root or _REPO_ROOT) / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def find_bench_files(root: Path | None = None) -> dict[str, Path]:
+    """``name -> path`` of every ``BENCH_<name>.json`` at the repo root."""
+    base = root or _REPO_ROOT
+    return {path.stem.removeprefix("BENCH_"): path
+            for path in sorted(base.glob("BENCH_*.json"))}

@@ -1,0 +1,60 @@
+"""Replayable fabric control operations (the FM-shard control channel).
+
+The sharded parallel kernel (:mod:`repro.sim.parallel`) carries fault
+injections as timestamped messages from the coordinator to every shard;
+the single-process reference kernel pre-schedules the same operations.
+Both must apply them *identically* — same simulated instant, same event
+priority, same side effects — or the determinism contract breaks. This
+module is that shared application point: a :class:`FaultOp` is a plain
+picklable value, and :func:`apply_fault_op` is the one function either
+kernel calls to realize it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class FaultOp:
+    """One timestamped control operation against the fabric.
+
+    ``time`` is relative to the start of the measurement window when the
+    op sits in a run spec; the kernel rebases it to absolute simulated
+    time before scheduling.
+
+    Kinds:
+        ``"fail"``         — fail the link between nodes ``a`` and ``b``.
+        ``"recover"``      — recover that link.
+        ``"fail-switch"``  — fail every live switch-switch link touching
+                             switch ``a`` (silent whole-switch death).
+    """
+
+    time: float
+    kind: str
+    a: str = ""
+    b: str = ""
+
+
+def _switch_links(fabric, name: str):
+    """Switch-switch links touching ``name``, in builder wiring order."""
+    return [link for (x, y), link in fabric.links.items()
+            if name in (x, y)
+            and not x.startswith("host") and not y.startswith("host")]
+
+
+def apply_fault_op(fabric, op: FaultOp) -> None:
+    """Apply ``op`` to ``fabric`` now. Deterministic: iteration order is
+    the builder's wiring order, identical in every replica."""
+    if op.kind == "fail":
+        fabric.link_between(op.a, op.b).fail()
+    elif op.kind == "recover":
+        fabric.link_between(op.a, op.b).recover()
+    elif op.kind == "fail-switch":
+        for link in _switch_links(fabric, op.a):
+            if link.can_carry(link.a) or link.can_carry(link.b):
+                link.fail()
+    else:
+        raise SimulationError(f"unknown fault op kind {op.kind!r}")

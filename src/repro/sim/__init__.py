@@ -6,7 +6,7 @@ every other subsystem in the library.
 
 from repro.sim.events import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, Event, EventQueue
 from repro.sim.process import PeriodicTask, Timer
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, child_seed
 from repro.sim.simulator import Simulator
 from repro.sim.stats import (
     Counter,
@@ -39,6 +39,7 @@ __all__ = [
     "TraceRecord",
     "aggregate_counters",
     "cdf_points",
+    "child_seed",
     "percentile",
     "summarize",
 ]

@@ -104,6 +104,49 @@ class Simulator:
             self._now = until
         return self._now
 
+    def run_before(self, bound: float) -> float:
+        """Execute every event *strictly before* ``bound``, then advance
+        the clock to exactly ``bound``.
+
+        The windowed-execution primitive of the sharded parallel kernel
+        (:mod:`repro.sim.parallel`): a shard granted a horizon drains its
+        queue up to — but excluding — the horizon, so back-to-back
+        ``run_before`` calls partition the timeline into half-open
+        windows ``[now, bound)`` and a final inclusive :meth:`run`
+        executes exactly the same event set a single ``run(until)``
+        would have.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        if bound < self._now:
+            raise SimulationError(
+                f"cannot run_before({bound}) with clock at {self._now}")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                event = self._queue.pop_before(bound)
+                if event is None:
+                    break
+                self._now = event.time
+                self.events_executed += 1
+                if self.max_events is not None and self.events_executed > self.max_events:
+                    raise SimulationError(f"exceeded max_events={self.max_events}")
+                event.callback(*event.args)
+        finally:
+            self._running = False
+        if self._now < bound:
+            self._now = bound
+        return self._now
+
+    def next_event_time(self) -> float | None:
+        """Absolute time of the earliest pending event (``None`` if idle).
+
+        The lookahead input of the conservative barrier: peers may not
+        be granted a horizon past ``min(next_event_time)`` + window.
+        """
+        return self._queue.peek_time()
+
     def step(self) -> bool:
         """Execute exactly one event. Returns ``False`` if the queue is empty."""
         event = self._queue.pop()

@@ -76,6 +76,12 @@ class CampaignConfig:
     flow_mode: bool = False
     #: Payload rate per fluid probe flow (flow-mode scenarios only).
     fluid_probe_bps: float = 50e6
+    #: Worker processes scenarios are sharded over (1 = in-process
+    #: sequential). Scenarios are independent by construction — each
+    #: builds a fresh fabric from its own derived seed — so results are
+    #: identical at any worker count; only wall time changes. Shrinking
+    #: stays sequential in the parent.
+    parallel: int = 1
 
 
 @dataclass
@@ -386,15 +392,58 @@ def shrink_failure_links(k: int, links, predicate=None,
 # The campaign
 
 
+def _plain_value(value):
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_plain_value(v) for v in value)
+    return str(value)
+
+
+def _sanitize_result(result: ScenarioResult) -> ScenarioResult:
+    """Render violation details to primitives so results cross a process
+    boundary (details may reference live frames/switches)."""
+    result.violations = [
+        Violation(v.kind, v.where, v.time,
+                  {k: _plain_value(val) for k, val in v.detail.items()})
+        for v in result.violations
+    ]
+    return result
+
+
+def _scenario_worker(payload) -> ScenarioResult:
+    """Module-level so multiprocessing can import it in workers."""
+    seed, config = payload
+    return _sanitize_result(run_scenario(seed, config))
+
+
+def _compute_results(config: CampaignConfig) -> list[ScenarioResult]:
+    """All scenario results, in index order, sharded over
+    ``config.parallel`` worker processes when asked to."""
+    payloads = [(scenario_seed_for(config, index), config)
+                for index in range(config.scenarios)]
+    workers = min(max(1, config.parallel), len(payloads))
+    if workers > 1:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        with ctx.Pool(workers) as pool:
+            # chunksize=1: scenarios vary a lot in cost (k is drawn per
+            # seed), so fine-grained dispatch balances the pool.
+            return pool.map(_scenario_worker, payloads, chunksize=1)
+    return [_scenario_worker(payload) for payload in payloads]
+
+
 def run_campaign(config: CampaignConfig | None = None,
                  log=None) -> CampaignReport:
     """Run a full campaign. ``log`` (e.g. ``print``) gets progress lines."""
     config = config or CampaignConfig()
     report = CampaignReport(config=config)
     shrinks_left = config.max_shrinks
-    for index in range(config.scenarios):
-        seed = scenario_seed_for(config, index)
-        result = run_scenario(seed, config)
+    for index, result in enumerate(_compute_results(config)):
+        seed = result.seed
         report.results.append(result)
         if log is not None:
             status = "ok" if result.ok else (

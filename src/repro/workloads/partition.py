@@ -1,0 +1,245 @@
+"""Pod-partitioned workloads for the sharded parallel kernel.
+
+The sharded kernel (:mod:`repro.sim.parallel`) runs one full fabric
+replica per shard and partitions the *workload* by source pod: a flow is
+owned by the shard that owns its sender's pod. For replicas to stay
+bit-identical, everything about the traffic matrix must be a pure
+function of the run spec — pair order, receiver ports, sender socket
+allocation, start stagger. This module derives all of it
+deterministically:
+
+* the pair list is built in host-spec order (or from a named simulator
+  RNG stream, identical in every replica);
+* receivers are created for *every* pair in global order in every
+  replica (explicitly bound ports — they never touch the ephemeral
+  allocator), so a host's ephemeral-port sequence is the same whether
+  its senders are created by the owning shard or by the single-process
+  reference;
+* sender start offsets are staggered *within each source pod* (position
+  in the pod's flow sub-list x ``stagger_s``), so a shard can compute
+  its offsets from the global pair list without knowing anything about
+  other shards' schedules.
+
+:func:`warm_arp_caches` pre-resolves destination PMACs from the fabric
+manager's registry, exactly as a long-warm data center would have them,
+so the first workload frame of every flow is already compilable by the
+path cache and no cross-flow ARP queueing perturbs determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.host.apps.udp_stream import UdpStreamReceiver, UdpStreamSender
+
+
+@dataclass(frozen=True)
+class PodWorkloadSpec:
+    """Declarative, picklable description of a pod-partitioned workload.
+
+    ``kind``:
+        ``"all_to_all"``  — every ordered host pair (quadratic).
+        ``"stride"``      — host i -> host (i + hosts_per_pod) mod N;
+                            every flow is inter-pod.
+        ``"permutation"`` — Sattolo permutation drawn from the simulator
+                            stream ``"parallel/permutation"`` (identical
+                            in every replica).
+        ``"fluid_stride"``— the stride matrix as finite fluid flows
+                            (requires ``flow_mode`` fabrics).
+    """
+
+    kind: str = "stride"
+    rate_pps: float = 200.0
+    payload_bytes: int = 64
+    base_port: int = 20000
+    #: Start-time offset between senders of the same source pod.
+    stagger_s: float = 0.0002
+    #: Fluid kinds only: per-flow demand and transfer size. Demand must
+    #: stay below any fair share the flow could see — the sharded fluid
+    #: contract is only exact for demand-limited flows (see docs/PERF.md).
+    demand_bps: float = 20e6
+    size_bytes: int = 100_000
+
+    @property
+    def fluid(self) -> bool:
+        return self.kind.startswith("fluid")
+
+
+@dataclass
+class FlowHandle:
+    """One flow of the global matrix, as one replica sees it."""
+
+    index: int
+    flow_id: str
+    src_name: str
+    dst_name: str
+    src_pod: int
+    port: int
+    #: Position among flows sharing this source pod (stagger input).
+    pod_position: int
+    receiver: UdpStreamReceiver | None = None
+    sender: UdpStreamSender | None = None
+    fluid_flow: object = None
+
+
+def host_pods(fabric) -> dict[str, int]:
+    """Host name -> pod id (requires a pod-structured topology)."""
+    pods = {}
+    for spec in fabric.tree.hosts:
+        if spec.pod is None:
+            raise TopologyError(
+                f"host {spec.name} has no pod: the sharded kernel needs a "
+                "pod-structured topology (fat tree)")
+        pods[spec.name] = spec.pod
+    return pods
+
+
+def make_pairs(fabric, spec: PodWorkloadSpec) -> list[tuple[str, str]]:
+    """The global traffic matrix as (src, dst) host names, in an order
+    every replica reproduces exactly."""
+    hosts = fabric.host_list()
+    kind = spec.kind.removeprefix("fluid_")
+    if kind == "all_to_all":
+        return [(a.name, b.name) for a in hosts for b in hosts if a is not b]
+    if kind == "stride":
+        per_pod = max(1, len(hosts) // fabric.tree.num_pods)
+        n = len(hosts)
+        return [(hosts[i].name, hosts[(i + per_pod) % n].name)
+                for i in range(n)]
+    if kind == "permutation":
+        rng = fabric.sim.random.stream("parallel/permutation")
+        receivers = hosts[:]
+        for i in range(len(receivers) - 1, 0, -1):
+            j = rng.randrange(i)
+            receivers[i], receivers[j] = receivers[j], receivers[i]
+        return [(a.name, b.name) for a, b in zip(hosts, receivers)]
+    raise ValueError(f"unknown workload kind {spec.kind!r}")
+
+
+def warm_arp_caches(fabric, pairs: list[tuple[str, str]]) -> int:
+    """Insert each destination's PMAC into its sender's ARP cache from
+    the FM registry. Returns the number of entries inserted."""
+    fm = fabric.fabric_manager
+    now = fabric.sim.now
+    warmed = 0
+    for src_name, dst_name in pairs:
+        src = fabric.hosts[src_name]
+        dst = fabric.hosts[dst_name]
+        record = fm.hosts_by_ip.get(dst.ip)
+        if record is None:
+            raise TopologyError(f"{dst_name} not registered with the FM")
+        src.arp_cache.insert(dst.ip, record.pmac, now)
+        warmed += 1
+    return warmed
+
+
+class PodWorkload:
+    """The global flow matrix instantiated in one replica.
+
+    Receivers exist for every flow; senders (or fluid flows) only for
+    flows whose source pod is in ``owned_pods``. The single-process
+    reference simply owns every pod.
+    """
+
+    def __init__(self, fabric, spec: PodWorkloadSpec,
+                 owned_pods: tuple[int, ...]) -> None:
+        self.fabric = fabric
+        self.spec = spec
+        self.owned_pods = tuple(owned_pods)
+        pods = host_pods(fabric)
+        pairs = make_pairs(fabric, spec)
+        if not spec.fluid:
+            warm_arp_caches(fabric, pairs)
+        self.flows: list[FlowHandle] = []
+        self.owned: list[FlowHandle] = []
+        owned_set = set(owned_pods)
+        pod_counts: dict[int, int] = {}
+        for i, (src_name, dst_name) in enumerate(pairs):
+            src_pod = pods[src_name]
+            position = pod_counts.get(src_pod, 0)
+            pod_counts[src_pod] = position + 1
+            handle = FlowHandle(
+                index=i, flow_id=f"pw-{i}-{src_name}>{dst_name}",
+                src_name=src_name, dst_name=dst_name, src_pod=src_pod,
+                port=spec.base_port + i, pod_position=position)
+            self.flows.append(handle)
+            if src_pod in owned_set:
+                self.owned.append(handle)
+        # Pass 1: receivers for every pair, in global order (identical
+        # socket layout in every replica). Fluid flows deliver through
+        # the engine, not sockets, so they skip this.
+        if not spec.fluid:
+            for handle in self.flows:
+                handle.receiver = UdpStreamReceiver(
+                    self.fabric.hosts[handle.dst_name], handle.port)
+            # Pass 2: senders only for owned pods. A host's senders all
+            # belong to one pod, so its ephemeral-port order is the
+            # global pair order restricted to that host — the same
+            # whether one shard or the reference creates them.
+            for handle in self.owned:
+                handle.sender = UdpStreamSender(
+                    self.fabric.hosts[handle.src_name],
+                    self.fabric.hosts[handle.dst_name].ip,
+                    handle.port, rate_pps=spec.rate_pps,
+                    payload_bytes=spec.payload_bytes,
+                    flow_id=handle.flow_id)
+
+    def start(self) -> None:
+        """Start every owned flow at its deterministic pod-stagger offset."""
+        spec = self.spec
+        if spec.fluid:
+            engine = self.fabric.flow_engine
+            sim = self.fabric.sim
+            for handle in self.owned:
+                sim.schedule(handle.pod_position * spec.stagger_s,
+                             self._start_fluid, engine, handle)
+        else:
+            for handle in self.owned:
+                handle.sender.start(handle.pod_position * spec.stagger_s)
+
+    def _start_fluid(self, engine, handle: FlowHandle) -> None:
+        handle.fluid_flow = engine.start_flow(
+            self.fabric.hosts[handle.src_name],
+            self.fabric.hosts[handle.dst_name].ip,
+            demand_bps=self.spec.demand_bps,
+            size_bytes=self.spec.size_bytes,
+            dport=handle.port, name=handle.flow_id)
+
+    def stop(self) -> None:
+        for handle in self.owned:
+            if handle.sender is not None:
+                handle.sender.stop()
+
+    # ------------------------------------------------------------------
+    # Equivalence artifacts
+
+    def arrivals(self) -> dict[str, tuple]:
+        """Owned-flow arrivals as ``flow_id -> ((time, seq), ...)``.
+
+        Read from the *destination* receiver's per-flow log, so it holds
+        exactly what was delivered for flows this replica sent.
+        """
+        out = {}
+        for handle in self.owned:
+            if handle.receiver is None:
+                continue
+            log = handle.receiver.by_flow.get(handle.flow_id, ())
+            out[handle.flow_id] = tuple(log)
+        return out
+
+    def sent(self) -> dict[str, int]:
+        """Frames sent (or fluid bytes completed) per owned flow."""
+        if self.spec.fluid:
+            return {h.flow_id: int(h.fluid_flow.transferred_bytes)
+                    for h in self.owned if h.fluid_flow is not None}
+        return {h.flow_id: h.sender.next_seq for h in self.owned}
+
+    def fluid_completions(self) -> dict[str, float]:
+        """``flow_id -> completed_at`` for finished owned fluid flows."""
+        out = {}
+        for handle in self.owned:
+            flow = handle.fluid_flow
+            if flow is not None and flow.completed_at is not None:
+                out[handle.flow_id] = flow.completed_at
+        return out

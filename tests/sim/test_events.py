@@ -135,3 +135,53 @@ def test_queue_stats_counters():
     assert stats["cancellations"] == 1
     assert stats["peak_heap"] == 2
     assert stats["live"] == 0
+
+
+# ----------------------------------------------------------------------
+# Bounded draining (the sharded kernel's run_before substrate)
+
+
+def test_pop_before_respects_bound():
+    q = EventQueue()
+    q.push(1.0, lambda: None, ())
+    q.push(2.0, lambda: None, ())
+    q.push(3.0, lambda: None, ())
+    assert q.pop_before(2.0).time == 1.0
+    assert q.pop_before(2.0) is None          # 2.0 is not strictly before
+    assert q.pop_before(2.0 + 1e-12).time == 2.0
+    assert q.pop_before(10.0).time == 3.0
+    assert q.pop_before(10.0) is None         # empty
+
+
+def test_pop_before_skips_cancelled_heads():
+    q = EventQueue()
+    doomed = q.push(1.0, lambda: None, ())
+    q.push(1.5, lambda: None, ())
+    doomed.cancel()
+    q.note_cancelled()
+    assert q.pop_before(2.0).time == 1.5
+    assert q.pop_before(2.0) is None
+
+
+def test_compaction_correct_under_bounded_drain():
+    """Heap compaction must not lose or reorder events when the queue is
+    drained window-by-window with live events parked beyond the bound."""
+    q = EventQueue()
+    far = [q.push(100.0 + i, lambda: None, ()) for i in range(10)]
+    popped = []
+    for window in range(8):
+        base = float(window)
+        events = [q.push(base + i / 1000.0, lambda: None, ())
+                  for i in range(200)]
+        for i, event in enumerate(events):
+            if i % 4 != 0:                    # cancel 3 of every 4
+                event.cancel()
+                q.note_cancelled()
+        while (event := q.pop_before(base + 1.0)) is not None:
+            popped.append(event.time)
+    assert popped == sorted(popped)
+    assert len(popped) == 8 * 50              # survivors of each window
+    assert q.stats()["compactions"] >= 1      # churn actually compacted
+    assert len(q) == len(far)                 # parked events all intact
+    remaining = [q.pop().time for _ in range(len(far))]
+    assert remaining == sorted(e.time for e in far)

@@ -1,0 +1,164 @@
+"""Unit tests for the sharded parallel kernel's machinery.
+
+The heavyweight oracle-equivalence gates live in
+``tests/verify/test_parallel_equivalence.py``; this file covers the
+moving parts — shard planning, the horizon protocol, ``run_before``
+window semantics, merge bookkeeping — at k=4 smoke scale.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.parallel import (
+    ParallelRunSpec,
+    ShardPlan,
+    merge_results,
+    run_sharded,
+    run_single,
+)
+from repro.workloads.partition import PodWorkloadSpec
+
+
+def _spec(**overrides) -> ParallelRunSpec:
+    defaults = dict(k=4, hosts_per_edge=1, seed=21, duration_s=0.1,
+                    workload=PodWorkloadSpec(kind="stride"))
+    defaults.update(overrides)
+    return ParallelRunSpec(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+
+
+def test_shard_plan_round_robins_pods():
+    plan = ShardPlan.for_pods(4, 2)
+    assert plan.assignments == ((), (0, 2), (1, 3))
+    assert plan.num_shards == 3
+
+
+def test_shard_plan_fm_shard_owns_nothing():
+    assert ShardPlan.for_pods(8, 3).assignments[0] == ()
+
+
+def test_shard_plan_clamps_workers_to_pods():
+    plan = ShardPlan.for_pods(2, 16)
+    assert plan.assignments == ((), (0,), (1,))
+
+
+def test_shard_plan_covers_every_pod_exactly_once():
+    plan = ShardPlan.for_pods(16, 5)
+    owned = [pod for pods in plan.assignments for pod in pods]
+    assert sorted(owned) == list(range(16))
+
+
+# ----------------------------------------------------------------------
+# run_before window semantics
+
+
+def test_run_before_is_exclusive_and_advances_clock():
+    sim = Simulator()
+    hits = []
+    sim.schedule(1.0, hits.append, "a")
+    sim.schedule(2.0, hits.append, "b")
+    assert sim.run_before(2.0) == 2.0
+    assert hits == ["a"]
+    assert sim.now == 2.0
+    sim.run(until=2.0)                        # inclusive final window
+    assert hits == ["a", "b"]
+
+
+def test_run_before_rejects_travel_into_the_past():
+    sim = Simulator()
+    sim.run(until=1.0)
+    with pytest.raises(Exception):
+        sim.run_before(0.5)
+
+
+def test_windowed_run_equals_single_run():
+    def chain_sim():
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(sim.now)
+            if n:
+                sim.schedule(0.037, chain, n - 1)
+
+        sim.schedule(0.0, chain, 40)
+        return sim, fired
+
+    sim_a, fired_a = chain_sim()
+    sim_a.run(until=1.0)
+
+    sim_b, fired_b = chain_sim()
+    bound = 0.0
+    while bound < 1.0:
+        bound = min(1.0, bound + 0.125)
+        sim_b.run_before(bound)
+    sim_b.run(until=1.0)
+    assert fired_a == fired_b
+    assert sim_a.now == sim_b.now == 1.0
+
+
+# ----------------------------------------------------------------------
+# Sharded smoke (tier-1; thread backend keeps it cheap on 1-core CI)
+
+
+@pytest.mark.parallel
+def test_sharded_smoke_thread_backend():
+    result = run_sharded(_spec(), workers=2, backend="thread")
+    assert result.workers == 2
+    assert result.rounds > 1                  # actually windowed
+    assert result.delivered > 0
+    assert result.violations == []
+    assert len(result.shard_events) == 3      # fm + 2 workload shards
+    # The FM shard owns no flows, so every delivery came from a
+    # workload shard and the flow sets are disjoint by construction.
+    assert len(result.sent) == 8              # k=4 stride: one per host
+    # Every shard compiled only its own flows' paths; the FM shard
+    # compiled none (signature counts lead the digest).
+    assert result.path_signatures[0].startswith("0:")
+    for signature in result.path_signatures[1:]:
+        assert not signature.startswith("0:")
+
+
+@pytest.mark.parallel
+def test_sharded_smoke_process_backend():
+    result = run_sharded(_spec(duration_s=0.05), workers=1,
+                        backend="process")
+    assert result.delivered > 0
+    assert result.violations == []
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        run_sharded(_spec(), workers=1, backend="mpi")
+
+
+# ----------------------------------------------------------------------
+# Merge bookkeeping
+
+
+def test_merge_rejects_overlapping_flow_ownership():
+    single = run_single(_spec(duration_s=0.05))
+    assert single.delivered > 0
+    # Feed the same shard result twice: ownership is no longer disjoint.
+    from repro.errors import SimulationError
+    from repro.sim.parallel import _ShardHarness
+
+    harness = _ShardHarness(_spec(duration_s=0.05), 1, (0, 1, 2, 3))
+    harness.setup()
+    harness.sim.run(until=harness.start_time + 0.05)
+    shard = harness.finish()
+    with pytest.raises(SimulationError):
+        merge_results([shard, shard], wall_s=0.0, backend="thread",
+                      workers=2, rounds=1)
+
+
+def test_single_result_merge_is_identity():
+    single = run_single(_spec(duration_s=0.05))
+    assert single.backend == "single"
+    assert single.workers == 1
+    # Counter identity with one result: merged == that result's deltas.
+    assert all(v >= 0 for v in single.link_bytes.values())
+    assert single.events_total == sum(single.shard_events)

@@ -165,3 +165,32 @@ def test_periodic_start_is_idempotent():
     task.start(0.1)  # ignored: already running
     sim.run(until=1.4)
     assert ticks == [0.5]
+
+
+def test_timer_slotted_rearm_across_run_before_windows():
+    """The slotted re-arm optimisation (a deferred heap entry sliding to
+    a later deadline) must behave identically when time advances via
+    bounded ``run_before`` windows instead of one ``run``."""
+    def scenario(windowed: bool) -> tuple[list[float], float]:
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(0.5)
+        # Push the deadline out repeatedly: each re-arm keeps the old
+        # heap entry, which must defer itself across window boundaries.
+        for i in range(1, 6):
+            sim.schedule(i * 0.3, timer.start, 0.5)
+        if windowed:
+            bound = 0.0
+            while bound < 3.0:
+                bound += 0.25                 # boundaries hit deferrals
+                sim.run_before(bound)
+            sim.run(until=3.0)
+        else:
+            sim.run(until=3.0)
+        return fired, sim.now
+
+    assert scenario(windowed=True) == scenario(windowed=False)
+    fired, now = scenario(windowed=True)
+    assert fired == [pytest.approx(2.0)]      # last re-arm at 1.5 + 0.5
+    assert now == 3.0

@@ -66,3 +66,66 @@ def test_compiled_replay_beats_decision_replay():
         f"compiled-path replay only {speedup:.2f}x faster than the "
         f"decision-cached walk (floor {SMOKE_SPEEDUP_FLOOR}x) — the fast "
         "path has regressed; run 'make bench-kernel' for the full numbers")
+
+
+# ----------------------------------------------------------------------
+# BENCH_*.json artifact schema (see repro.metrics.benchout)
+
+#: Every `make bench-*` lane and the artifact it must commit.
+EXPECTED_BENCHES = ("sim_kernel", "flows", "topo", "parallel")
+
+
+def test_bench_payload_roundtrip():
+    from repro.metrics.benchout import (bench_payload,
+                                        validate_bench_payload,
+                                        write_bench_json)
+
+    payload = bench_payload("demo", ratio=2.5, events=1000, wall_s=0.5,
+                            config={"k": 4}, extra_series=[1, 2, 3])
+    validate_bench_payload(payload)
+    assert payload["schema"] == 1
+    assert payload["extra_series"] == [1, 2, 3]
+
+    import json
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = write_bench_json("demo", payload, root=Path(tmp))
+        assert path.name == "BENCH_demo.json"
+        assert json.loads(path.read_text()) == payload
+
+
+def test_bench_payload_rejects_schema_drift():
+    import pytest
+
+    from repro.metrics.benchout import bench_payload, validate_bench_payload
+
+    good = bench_payload("demo", ratio=1.0, events=1, wall_s=0.1, config={})
+    for key in ("bench", "ratio", "events", "wall_s", "config"):
+        broken = dict(good)
+        del broken[key]
+        with pytest.raises(ValueError):
+            validate_bench_payload(broken)
+    with pytest.raises(ValueError):
+        validate_bench_payload({**good, "schema": 99})
+    with pytest.raises(ValueError):
+        validate_bench_payload({**good, "ratio": "fast"})
+
+
+def test_committed_bench_artifacts_conform():
+    """Every committed BENCH_<name>.json validates, and every bench lane
+    has committed one."""
+    import json
+
+    from repro.metrics.benchout import find_bench_files, validate_bench_payload
+
+    found = find_bench_files()
+    for name in EXPECTED_BENCHES:
+        assert name in found, (
+            f"BENCH_{name}.json missing at the repo root — run its "
+            f"`make bench-*` target and commit the artifact")
+    for name, path in found.items():
+        payload = json.loads(path.read_text())
+        validate_bench_payload(payload)
+        assert payload["bench"] == name

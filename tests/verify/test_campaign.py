@@ -88,3 +88,19 @@ def test_full_campaign_25_scenarios():
     report = run_campaign(CampaignConfig(scenarios=25, seed=7))
     assert report.ok, "\n".join(
         str(v) for result in report.results for v in result.violations)
+
+
+@pytest.mark.parallel
+def test_parallel_campaign_matches_sequential():
+    """Scenario results are identical at any worker count — parallelism
+    only shards independent seeds over processes."""
+    sequential = run_campaign(quick_config())
+    parallel = run_campaign(quick_config(parallel=2))
+    assert parallel.ok == sequential.ok
+    assert len(parallel.results) == len(sequential.results)
+    for a, b in zip(sequential.results, parallel.results):
+        assert (a.seed, a.k, a.steps, a.failed_links, a.hops,
+                a.path_launches) == \
+               (b.seed, b.k, b.steps, b.failed_links, b.hops,
+                b.path_launches)
+        assert len(a.violations) == len(b.violations)
