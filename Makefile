@@ -1,6 +1,6 @@
 # Convenience targets for the PortLand reproduction.
 
-.PHONY: install test bench bench-kernel bench-smoke bench-flows bench-flows-smoke bench-topo bench-parallel examples lint-clean verify verify-flows verify-topo verify-parallel test-topo all
+.PHONY: install test bench bench-kernel bench-smoke bench-flows bench-flows-smoke bench-topo bench-parallel bench-fm examples lint-clean verify verify-flows verify-topo verify-parallel verify-fm test-topo all
 
 install:
 	pip install -e .
@@ -71,6 +71,20 @@ bench-parallel:
 # identical to `make verify`, only wall time changes.
 verify-parallel:
 	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25 --parallel 4
+
+# Sharded fabric manager under fire: the 25-scenario campaign with a
+# 4-way FM shard cluster, batched + incremental override pushes, and
+# fm-restart / fm-partition steps mixed into the op schedule
+# (docs/PROTOCOLS.md, fabric-manager section).
+verify-fm:
+	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25 \
+		--fm-shards 4 --fm-ops --fm-batch 0.02 --fm-incremental
+
+# Fabric-manager control-plane benches (Figs. 14/15 extended to the
+# sharded FM): batching/incremental gates; writes BENCH_fm.json.
+bench-fm:
+	PYTHONPATH=src pytest benchmarks/bench_fig14_fm_control_traffic.py \
+		benchmarks/bench_fig15_fm_cpu.py --benchmark-only -q
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -8,11 +8,19 @@ and the paper's core-count table is derived from the measured per-query
 service time. Absolute core counts differ from the paper's C
 implementation — the shape (linear in aggregate ARP rate, modest
 absolute need) is the reproduced claim.
+
+A second phase measures the simulated-queue utilization (busy time per
+``fm_service_time_s`` slot, charged on service completion) of the
+classic single fabric manager against a 4-way shard cluster under the
+same ARP storm, gating the per-server CPU reduction sharding buys.
+Merges its section into ``BENCH_fm.json``.
 """
 
-from common import print_header, run_once, save_results
+from common import converged_portland, print_header, run_once, \
+    save_results, update_bench_fm
 
 from repro import PortlandConfig, Simulator
+from repro.workloads.arp_workload import ArpStorm
 from repro.metrics.tables import format_table
 from repro.net.addresses import IPv4Address, MacAddress
 from repro.portland.fabric_manager import FabricManager, FmHostRecord
@@ -21,6 +29,29 @@ from repro.portland.pmac import Pmac
 
 PAPER_HOSTS = (128, 1024, 4096, 16384, 27648)
 BATCH = 2000
+
+STORM_RATE = 200.0
+STORM_S = 1.0
+SHARDS = 4
+
+
+def measure_utilization(seed: int, shards: int) -> dict:
+    """Busy-slot utilization of every FM server under an ARP storm."""
+    config = PortlandConfig(fm_shards=shards)
+    fabric = converged_portland(seed, k=4, carrier=True, config=config)
+    sim = fabric.sim
+    fm = fabric.fabric_manager
+    servers = getattr(fm, "servers", [fm])
+    busy0 = {server.name: server.busy_time for server in servers}
+    storm = ArpStorm(sim, fabric.host_list(), STORM_RATE,
+                     sim.random.stream("fig15"))
+    storm.start()
+    start = sim.now
+    sim.run(until=start + STORM_S)
+    storm.stop()
+    elapsed = sim.now - start
+    return {server.name: (server.busy_time - busy0[server.name]) / elapsed
+            for server in servers}
 
 
 def build_loaded_fm(num_hosts: int) -> tuple[FabricManager, list[ArpQuery]]:
@@ -74,10 +105,41 @@ def test_fig15_fm_cpu_requirements(benchmark):
           " extreme 27,648-host x 100 ARPs/s point (their constant differs:"
           " C implementation vs this Python handler).")
 
+    single = measure_utilization(701, shards=0)
+    sharded = measure_utilization(701, shards=SHARDS)
+    single_util = max(single.values())
+    sharded_util = max(sharded.values())
+    cpu_ratio = single_util / max(sharded_util, 1e-12)
+    print()
+    print(format_table(
+        ["server", "utilization"],
+        [[name, f"{util:.4f}"] for name, util in
+         [("fm (single)", single_util)] + sorted(sharded.items())],
+        title=(f"simulated-queue utilization, {STORM_RATE:.0f} ARPs/s/host"
+               f" storm on k=4: sharding {SHARDS} ways cuts the busiest"
+               f" server {cpu_ratio:.1f}x"),
+    ))
+
     save_results("fig15_fm_cpu", {"per_query_s": per_query_s,
-                                  "rows": rows})
+                                  "rows": rows,
+                                  "utilization": {"single": single,
+                                                  "sharded": sharded}})
+    update_bench_fm(
+        "cpu", {
+            "per_query_s": per_query_s,
+            "storm_rate_per_host": STORM_RATE,
+            "single_utilization": single_util,
+            "sharded_max_utilization": sharded_util,
+            "sharded_utilization": sharded,
+            "utilization_ratio": cpu_ratio,
+            "shards": SHARDS,
+        })
     # Shape assertions: sane service time and linearity by construction.
     assert per_query_s < 500e-6, "ARP service must be sub-half-millisecond"
+    # Sharding gate: the busiest shard serves materially less than the
+    # single FM under the identical storm (pod-local requests stay on
+    # their home shard; only cross-pod lookups cost a forward).
+    assert cpu_ratio >= 1.3, f"sharded CPU reduction {cpu_ratio:.2f}x < 1.3x"
     cores_small = PAPER_HOSTS[0] * 25 * per_query_s
     cores_large = PAPER_HOSTS[-1] * 25 * per_query_s
     expected_ratio = PAPER_HOSTS[-1] / PAPER_HOSTS[0]

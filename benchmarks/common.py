@@ -56,6 +56,32 @@ def print_header(title: str) -> None:
     print("=" * 72)
 
 
+def update_bench_fm(section: str, data: dict,
+                    headline: dict | None = None) -> None:
+    """Merge one bench's contribution into ``BENCH_fm.json``.
+
+    Figs. 14 and 15 both feed the fabric-manager artifact and may run in
+    either order (or alone): read whatever is committed, replace this
+    bench's section, and rewrite the headline fields (ratio/events/
+    wall_s/config) only when this caller owns them — fig14's batching
+    message reduction is the headline ratio.
+    """
+    import json
+    from pathlib import Path
+
+    path = Path(__file__).parent.parent / "BENCH_fm.json"
+    try:
+        payload = json.loads(path.read_text())
+        validate_bench_payload(payload)
+    except (OSError, ValueError):
+        payload = bench_payload("fm", ratio=1.0, events=0, wall_s=0.0,
+                                config={})
+    payload[section] = data
+    if headline:
+        payload.update(headline)
+    write_bench_json("fm", payload)
+
+
 def save_results(name: str, payload: dict) -> None:
     """Persist a bench's data as ``results/<name>.json``.
 

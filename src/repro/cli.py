@@ -180,7 +180,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
         backend=args.backend,
         ks=tuple(args.k), steps=args.steps,
         path_cache_entries=4096 if args.path_cache else 0,
-        flow_mode=args.flow_mode, parallel=args.parallel)
+        flow_mode=args.flow_mode, parallel=args.parallel,
+        fm_shards=args.fm_shards, fm_batch_interval_s=args.fm_batch,
+        fm_incremental=args.fm_incremental, fm_ops=args.fm_ops)
     report = run_campaign(config, log=print if not args.quiet else None)
     print(format_table(
         ["seed", "k", "steps", "checked", "violations", "verdict"],
@@ -243,6 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "checks every resolved flow path")
     p.add_argument("--steps", type=int, default=4,
                    help="random fault/migration steps per scenario")
+    p.add_argument("--fm-shards", type=int, default=0, metavar="N",
+                   help="shard the fabric manager N ways (0 = single FM)")
+    p.add_argument("--fm-batch", type=float, default=0.0, metavar="S",
+                   help="coalesce override pushes into S-second rounds")
+    p.add_argument("--fm-incremental", action="store_true",
+                   help="incremental override recomputation on view changes")
+    p.add_argument("--fm-ops", action="store_true",
+                   help="add fm-restart/fm-partition steps to the op mix")
     p.add_argument("--parallel", type=int, default=1, metavar="N",
                    help="shard scenarios over N worker processes "
                         "(results identical to sequential)")

@@ -47,6 +47,7 @@ from repro.portland.messages import (
     McastMiss,
     McastRemove,
     NeighborReport,
+    OverrideReport,
     PodReply,
     PodRequest,
     RegisterHost,
@@ -448,6 +449,14 @@ class PortlandAgent(SwitchAgent):
                                           True, host_ip))
         for port_index, neighbor_id in self._reported_failed.items():
             self.send_to_fm(LinkFail(self.switch_id, port_index, neighbor_id))
+        if self._fault_overrides:
+            # Overrides are the one piece of FM-*originated* state we
+            # hold; reporting them lets a restarted manager retract
+            # entries whose fault cleared while it was down. Sent after
+            # the LinkFail re-reports above so the manager rebuilds its
+            # fault matrix before reconciling.
+            self.send_to_fm(OverrideReport(
+                self.switch_id, tuple(sorted(self._fault_overrides))))
 
     # ------------------------------------------------------------------
     # Edge: host discovery and registration
@@ -591,16 +600,27 @@ class PortlandAgent(SwitchAgent):
         self.switch.ports[port_index].send(frame)
 
     def _handle_arp_flood(self, message: ArpFlood) -> None:
+        # The fabric manager's flood fan-out includes the querying edge
+        # on purpose: edges proxy ARP requests instead of flooding them
+        # locally (_handle_host_arp only sends an ArpQuery), so hosts
+        # sharing the requester's edge hear the request *only* through
+        # this path. Duplicate-suppression is per port — the requester
+        # itself must not receive its own request back.
         if self.allocator is None:
             return
         skip_port: int | None = None
-        try:
-            requester = Pmac.from_mac(message.requester_pmac)
-            if (requester.pod == self.ldp.pod
-                    and requester.position == self.ldp.position):
-                skip_port = requester.port
-        except Exception:
-            skip_port = None
+        record = self.hosts_by_pmac.get(message.requester_pmac)
+        if record is not None:
+            # The requester is one of ours: skip its port directly.
+            skip_port = record.port
+        else:
+            try:
+                requester = Pmac.from_mac(message.requester_pmac)
+                if (requester.pod == self.ldp.pod
+                        and requester.position == self.ldp.position):
+                    skip_port = requester.port
+            except Exception:
+                skip_port = None
         request = ArpPacket(ARP_REQUEST, message.requester_pmac,
                             message.requester_ip, ZERO_MAC, message.target_ip)
         for port_index in self.ldp.host_ports:

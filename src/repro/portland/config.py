@@ -57,6 +57,27 @@ class PortlandConfig:
 
     #: Fabric-manager per-message service time (one CPU core).
     fm_service_time_s: float = 25e-6
+    #: Number of fabric-manager shards (0 or 1 = the classic single FM).
+    #: With N > 1 the builder wires an :class:`~repro.portland.fm_shard.
+    #: FmShardCluster`: per-pod shards own slices of the IP→PMAC registry
+    #: and the switch control links, a policy coordinator owns the
+    #: topology view / fault matrix / override push, and each server is
+    #: its own single-server queue with its own ``fm_service_time_s``
+    #: accounting (see docs/PROTOCOLS.md).
+    fm_shards: int = 0
+    #: Override-push batching window. 0 (default) pushes FaultUpdate /
+    #: FaultClear immediately on every view change, exactly as before;
+    #: > 0 coalesces all changes arriving within the window into one
+    #: recompute + one diff per convergence round, so a switch sees at
+    #: most one update per prefix per round instead of one per event.
+    fm_batch_interval_s: float = 0.0
+    #: Incremental override recomputation: on a fault-matrix or wiring
+    #: change, re-derive only the destination prefixes whose reachability
+    #: inputs the change touches (plus the changed switch's own rows)
+    #: instead of recomputing every edge prefix. Off by default on the
+    #: classic FM (bit-identical full recompute); the sharded
+    #: coordinator enables whatever this says.
+    fm_incremental: bool = False
     #: Period of the agents' soft-state refresh (neighbor report, host
     #: re-registration, multicast membership, outstanding failures) —
     #: what lets a restarted fabric manager rebuild all of its state.

@@ -24,14 +24,24 @@ class ControlNetwork:
                  scheme=None) -> None:
         self.sim = sim
         self.config = config or PortlandConfig()
-        self.fabric_manager = fabric_manager or FabricManager(sim, self.config,
-                                                              scheme=scheme)
+        if fabric_manager is None:
+            if self.config.fm_shards > 1:
+                from repro.portland.fm_shard import FmShardCluster
+                fabric_manager = FmShardCluster(sim, self.config,
+                                                scheme=scheme)
+            else:
+                fabric_manager = FabricManager(sim, self.config,
+                                               scheme=scheme)
+        self.fabric_manager = fabric_manager
         self.links: list[Link] = []
+        #: switch id -> its control link (campaigns partition per switch).
+        self.links_by_switch: dict[int, Link] = {}
 
     def connect(self, agent: PortlandAgent) -> Link:
         """Create the control link for one switch agent."""
         switch_port = agent.switch.attach_control_port()
-        fm_port = self.fabric_manager.attach_switch(agent.switch_id)
+        fm_port = self.fabric_manager.attach_switch(agent.switch_id,
+                                                    name=agent.switch.name)
         link = Link(
             self.sim,
             switch_port,
@@ -40,6 +50,7 @@ class ControlNetwork:
             delay_s=self.config.control_delay_s,
             name=f"ctl:{agent.switch.name}",
         )
-        agent.fm_mac = self.fabric_manager.mac
+        agent.fm_mac = self.fabric_manager.mac_for(agent.switch_id)
         self.links.append(link)
+        self.links_by_switch[agent.switch_id] = link
         return link

@@ -27,7 +27,11 @@ from repro.net.ethernet import ETHERTYPE_FABRIC, EthernetFrame
 from repro.net.link import Port
 from repro.net.node import Node
 from repro.portland.config import PortlandConfig
-from repro.portland.faults import compute_overrides, diff_overrides
+from repro.portland.faults import (
+    OverrideComputer,
+    compute_overrides,
+    diff_overrides,
+)
 from repro.portland.messages import (
     ArpFlood,
     ArpQuery,
@@ -47,6 +51,7 @@ from repro.portland.messages import (
     McastMiss,
     McastRemove,
     NeighborReport,
+    OverrideReport,
     PodReply,
     PodRequest,
     RegisterHost,
@@ -55,6 +60,7 @@ from repro.portland.messages import (
 )
 from repro.portland.multicast import MulticastManager
 from repro.portland.topology_view import FabricView, SwitchRecord
+from repro.sim.process import Timer
 from repro.sim.simulator import Simulator
 from repro.switching.stp import bridge_mac_for
 
@@ -96,9 +102,26 @@ class FabricManager(Node):
         self.multicast = MulticastManager(self._mcast_install,
                                           self._mcast_remove)
 
-        # Single-server processing queue.
-        self._queue: deque[tuple[EthernetFrame, Port]] = deque()
+        # Single-server processing queue. Items are (frame-or-message,
+        # in_port): cluster-internal messages enqueue without a frame but
+        # cost the same service time.
+        self._queue: deque[tuple[EthernetFrame | FmMessage, Port | None]] = \
+            deque()
         self._busy = False
+        #: Bumped by :meth:`restart` so a ``_service_one`` event scheduled
+        #: by the pre-restart instance cannot service the new queue (it
+        #: would run concurrently with the chain the first post-restart
+        #: message starts, double-charging ``busy_time``).
+        self._service_epoch = 0
+
+        # Override push machinery: an optional per-round batching timer
+        # (``fm_batch_interval_s``) and an optional incremental
+        # recomputation state (``fm_incremental``).
+        self._batch_timer = Timer(sim, self._flush_override_batch)
+        self._pending_links: set[frozenset[int]] = set()
+        self._pending_switches: set[int] = set()
+        self._pending_full = False
+        self._computer = OverrideComputer()
 
         #: Times this instance has been restarted (soft-state rebuilds).
         self.restarts = 0
@@ -115,15 +138,31 @@ class FabricManager(Node):
         #: pressure: every update/clear flushes that switch's decisions).
         self.override_updates_sent = 0
         self.override_clears_sent = 0
+        #: Recompute-work accounting: rounds of recompute+diff, batching
+        #: rounds coalesced by the timer, and destination-edge prefixes
+        #: examined (full recompute scans every edge; the incremental
+        #: path re-derives only affected ones — the fig. 15 metric).
+        self.override_recomputes = 0
+        self.override_batches = 0
+        self.override_edges_examined = 0
 
     # ------------------------------------------------------------------
     # Control-network attachment
 
-    def attach_switch(self, switch_id: int) -> Port:
-        """Allocate an FM-side port for one switch's control link."""
+    def attach_switch(self, switch_id: int, name: str | None = None) -> Port:
+        """Allocate an FM-side port for one switch's control link.
+
+        ``name`` is a placement hint for sharded deployments (see
+        :mod:`repro.portland.fm_shard`); the single FM ignores it.
+        """
         port = self.add_port()
         self._port_by_switch[switch_id] = port
         return port
+
+    def mac_for(self, switch_id: int) -> MacAddress:
+        """The FM MAC ``switch_id``'s agent should address (sharded
+        clusters return the switch's home shard)."""
+        return self.mac
 
     def view(self) -> FabricView:
         """Current topology view (switch records + fault matrix)."""
@@ -146,6 +185,15 @@ class FabricManager(Node):
         self.multicast.groups.clear()
         self._queue.clear()
         self._busy = False
+        # Invalidate any in-flight _service_one event: it belongs to the
+        # crashed instance and must not start servicing the new queue.
+        self._service_epoch += 1
+        # Pending batched pushes die with the instance too.
+        self._batch_timer.stop()
+        self._pending_links = set()
+        self._pending_switches = set()
+        self._pending_full = False
+        self._computer.reset()
         # Keep _pod_assignments and _next_pod monotone across restarts:
         # pod numbers live in the switches; reusing one for a *new* pod
         # would collide with PMACs already in use. Neighbor reports
@@ -168,21 +216,38 @@ class FabricManager(Node):
             self._busy = True
             self._schedule_service()
 
-    def _schedule_service(self) -> None:
-        self.busy_time += self.config.fm_service_time_s
-        self.sim.schedule(self.config.fm_service_time_s, self._service_one)
+    def enqueue_internal(self, message: FmMessage) -> None:
+        """Queue a message that arrived off the switch control links
+        (inter-shard forwarding); it costs a normal service slot but is
+        accounted separately from switch control traffic."""
+        self._queue.append((message, None))
+        if not self._busy:
+            self._busy = True
+            self._schedule_service()
 
-    def _service_one(self) -> None:
+    def _schedule_service(self) -> None:
+        self.sim.schedule(self.config.fm_service_time_s, self._service_one,
+                          self._service_epoch)
+
+    def _service_one(self, epoch: int) -> None:
+        if epoch != self._service_epoch:
+            return  # scheduled before a restart: that chain is dead
         if not self._queue:
             self._busy = False
             return
-        frame, in_port = self._queue.popleft()
+        # CPU time is charged on completion, not at schedule time, so a
+        # run (or a restart) that cuts a service short never counts it.
+        self.busy_time += self.config.fm_service_time_s
+        item, in_port = self._queue.popleft()
         try:
-            payload = frame.payload
-            if isinstance(payload, (bytes, bytearray)):
-                message = decode_fabric(bytes(payload))
+            if isinstance(item, EthernetFrame):
+                payload = item.payload
+                if isinstance(payload, (bytes, bytearray)):
+                    message = decode_fabric(bytes(payload))
+                else:
+                    message = payload
             else:
-                message = payload
+                message = item
             self._dispatch(message)
         finally:
             if self._queue:
@@ -223,6 +288,8 @@ class FabricManager(Node):
                                      message.group)
         elif isinstance(message, BroadcastRelay):
             self._on_broadcast_relay(message)
+        elif isinstance(message, OverrideReport):
+            self._on_override_report(message)
 
     def send_to_switch(self, switch_id: int, message: FmMessage) -> None:
         """Ship one message to a switch over its control link."""
@@ -235,6 +302,14 @@ class FabricManager(Node):
         self.bytes_sent += frame.wire_length()
         port.send(frame)
 
+    def _edge_switch_ids(self) -> list[int]:
+        """Edge switches to fan floods/relays/announcements out to.
+
+        Shards override this to read their replicated edge directory
+        instead of ``self.switches`` (which only the coordinator fills)."""
+        return [sid for sid, record in self.switches.items()
+                if record.level is SwitchLevel.EDGE]
+
     # ------------------------------------------------------------------
     # ARP service
 
@@ -245,21 +320,28 @@ class FabricManager(Node):
             self.send_to_switch(query.edge_id, ArpResponse(
                 query.request_id, query.target_ip, record.pmac, True))
             return
-        # Unknown IP: fall back to a fabric-wide (edge-mediated) flood.
+        self._arp_miss(query)
+
+    def _arp_miss(self, query: ArpQuery) -> None:
+        """Unknown IP: fall back to a fabric-wide (edge-mediated) flood.
+
+        The flood deliberately *includes* the querying edge: ARP
+        requests are proxied, never flooded locally, so hosts sharing
+        the requester's edge can only hear the request through this
+        path. The edge suppresses the requester's own port (see
+        ``PortlandAgent._handle_arp_flood``)."""
         self.arp_misses += 1
         self.send_to_switch(query.edge_id, ArpResponse(
             query.request_id, query.target_ip, MacAddress(0), False))
         flood = ArpFlood(query.target_ip, query.requester_ip,
                          query.requester_pmac)
-        for switch_id, record_sw in self.switches.items():
-            if record_sw.level is SwitchLevel.EDGE:
-                self.send_to_switch(switch_id, flood)
+        for switch_id in self._edge_switch_ids():
+            self.send_to_switch(switch_id, flood)
 
     def _on_broadcast_relay(self, relay: BroadcastRelay) -> None:
         """Fan a tunnelled broadcast out to every other edge switch."""
-        for switch_id, record in self.switches.items():
-            if (record.level is SwitchLevel.EDGE
-                    and switch_id != relay.edge_id):
+        for switch_id in self._edge_switch_ids():
+            if switch_id != relay.edge_id:
                 self.send_to_switch(switch_id, relay)
 
     # ------------------------------------------------------------------
@@ -283,8 +365,8 @@ class FabricManager(Node):
                             Invalidate(reg.ip, existing.pmac, reg.pmac))
         if self.config.proactive_garp:
             announcement = GratuitousArp(reg.ip, reg.pmac)
-            for switch_id, sw in self.switches.items():
-                if sw.level is SwitchLevel.EDGE and switch_id != reg.edge_id:
+            for switch_id in self._edge_switch_ids():
+                if switch_id != reg.edge_id:
                     self.send_to_switch(switch_id, announcement)
 
     # ------------------------------------------------------------------
@@ -299,21 +381,33 @@ class FabricManager(Node):
         self.send_to_switch(request.switch_id, PodReply(pod))
 
     def _on_neighbor_report(self, report: NeighborReport) -> None:
-        record = self.switches.setdefault(report.switch_id,
-                                          SwitchRecord(report.switch_id))
+        record = self.switches.get(report.switch_id)
+        is_new = record is None
+        if is_new:
+            record = SwitchRecord(report.switch_id)
+            self.switches[report.switch_id] = record
+        old_role = (record.level, record.pod, record.position)
+        old_neighbors = {nbr for nbr, _lvl in record.neighbors.values()}
         changed = record.update_from_report(report.level, report.pod,
                                             report.position, report.neighbors)
         self._note_pod_in_use(report.pod)
-        if changed:
-            # The physical view shifted under the overrides: LDP prunes
-            # long-dead links from reports and re-adds them after
-            # recovery, and positions can be re-arbitrated. A recompute
-            # keyed only to fault-matrix events would leave overrides
-            # derived from the stale wiring installed forever (e.g. an
-            # ECMP branch still forbidden after its path came back).
-            view = self.view()
-            self._push_override_changes(view)
-            self.multicast.on_topology_change(view)
+        if not changed:
+            return
+        # The physical view shifted under the overrides: LDP prunes
+        # long-dead links from reports and re-adds them after
+        # recovery, and positions can be re-arbitrated. A recompute
+        # keyed only to fault-matrix events would leave overrides
+        # derived from the stale wiring installed forever (e.g. an
+        # ECMP branch still forbidden after its path came back).
+        if is_new or old_role != (record.level, record.pod, record.position):
+            # Role changes re-shape prefixes themselves: full recompute.
+            self._note_view_change()
+            return
+        new_neighbors = {nbr for nbr, _lvl in record.neighbors.values()}
+        delta = {frozenset((report.switch_id, nbr))
+                 for nbr in old_neighbors ^ new_neighbors}
+        self._note_view_change(changed_links=delta,
+                               changed_switches={report.switch_id})
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -338,15 +432,74 @@ class FabricManager(Node):
         for endpoint, other in ((a, b), (b, a)):
             message = DisableLink(other) if failed else EnableLink(other)
             self.send_to_switch(endpoint, message)
+        self._note_view_change(changed_links={link})
+
+    # ------------------------------------------------------------------
+    # Override push: optional batching round + incremental recompute
+
+    def _note_view_change(self,
+                          changed_links: set[frozenset[int]] | None = None,
+                          changed_switches: set[int] | None = None) -> None:
+        """React to a view change: push overrides now, or fold the change
+        into the current batching round.
+
+        ``changed_links``/``changed_switches`` attribute the change for
+        the incremental recompute; ``None`` means "recompute everything".
+        Multicast trees always follow the view immediately — only the
+        FaultUpdate/FaultClear stream is batched.
+        """
         view = self.view()
-        self._push_override_changes(view)
+        if self.config.fm_batch_interval_s > 0:
+            if changed_links is None:
+                self._pending_full = True
+            elif not self._pending_full:
+                self._pending_links |= changed_links
+                if changed_switches:
+                    self._pending_switches |= changed_switches
+            if not self._batch_timer.armed:
+                self._batch_timer.start(self.config.fm_batch_interval_s)
+            self.multicast.on_topology_change(view)
+            return
+        self._push_override_changes(view, changed_links, changed_switches)
         self.multicast.on_topology_change(view)
 
-    def _push_override_changes(self, view: FabricView) -> None:
+    def _flush_override_batch(self) -> None:
+        """End of a batching round: one recompute + one diff for every
+        change that arrived during the window."""
+        self.override_batches += 1
+        if self._pending_full:
+            changed_links = changed_switches = None
+        else:
+            changed_links = self._pending_links
+            changed_switches = self._pending_switches
+        self._pending_full = False
+        self._pending_links = set()
+        self._pending_switches = set()
+        self._push_override_changes(self.view(), changed_links,
+                                    changed_switches)
+
+    def _push_override_changes(
+            self, view: FabricView,
+            changed_links: set[frozenset[int]] | None = None,
+            changed_switches: set[int] | None = None) -> None:
+        self.override_recomputes += 1
         if self.scheme is not None:
             new = self.scheme.compute_overrides(view)
+            self.override_edges_examined += len(view.edges())
+        elif self.config.fm_incremental:
+            before = self._computer.edges_examined
+            current = self._computer.update(view, changed_links,
+                                            changed_switches)
+            self.override_edges_examined += (self._computer.edges_examined
+                                             - before)
+            # Deep-copy: the computer mutates its map in place on the
+            # next update, but _sent_overrides must stay a snapshot.
+            new = {sid: {prefix: set(avoid)
+                         for prefix, avoid in prefix_map.items()}
+                   for sid, prefix_map in current.items()}
         else:
             new = compute_overrides(view)
+            self.override_edges_examined += len(view.edges())
         updates, clears = diff_overrides(self._sent_overrides, new)
         for switch_id, (value, bits), avoid in updates:
             self.send_to_switch(switch_id,
@@ -361,6 +514,36 @@ class FabricManager(Node):
                                 switches=len({s for s, *_ in updates}
                                              | {s for s, _ in clears}))
         self._sent_overrides = new
+
+    def _on_override_report(self, report: OverrideReport) -> None:
+        """Reconcile a switch's held overrides against what we believe.
+
+        Closes the restart hole: overrides are FM-originated state, so a
+        restarted manager cannot know what agents still hold. If a fault
+        cleared while the manager was down, nothing ever retracts the
+        stale overrides — until this refresh-driven report arrives and
+        the diff below sends the missing clears (and re-sends any
+        updates the switch somehow lost).
+        """
+        sent = self._sent_overrides.get(report.switch_id, {})
+        held = set(report.prefixes)
+        updates = 0
+        clears = 0
+        for value, bits in sorted(held - set(sent)):
+            self.send_to_switch(report.switch_id,
+                                FaultClear(MacAddress(value), bits))
+            clears += 1
+        for value, bits in sorted(set(sent) - held):
+            avoid = sent[(value, bits)]
+            self.send_to_switch(report.switch_id, FaultUpdate(
+                MacAddress(value), bits, tuple(sorted(avoid))))
+            updates += 1
+        self.override_updates_sent += updates
+        self.override_clears_sent += clears
+        if (updates or clears) and self.sim.trace.wants("fm.overrides"):
+            self.sim.trace.emit(self.sim.now, "fm.overrides", self.name,
+                                updates=updates, clears=clears, switches=1,
+                                reconciled=True)
 
     # ------------------------------------------------------------------
     # Multicast plumbing

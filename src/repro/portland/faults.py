@@ -47,7 +47,9 @@ def compute_overrides(view: FabricView) -> Overrides:
 
     Recomputed from scratch on every fault-matrix change and diffed
     against what has been sent — simple, idempotent, and naturally
-    correct for overlapping failures and recoveries.
+    correct for overlapping failures and recoveries. The incremental
+    variant (:class:`OverrideComputer`) maintains the same map while
+    re-deriving only the prefixes a given change can touch.
     """
     overrides: Overrides = {}
     if not view.failed:
@@ -59,29 +61,70 @@ def compute_overrides(view: FabricView) -> Overrides:
             continue
         if not _touched_by_failure(view, edge, pod):
             continue
-        value, bits = position_prefix(pod, position)
-        prefix = (value.value, bits)
-        d_aggs = {agg for agg in view.aggs_in_pod(pod) if view.alive(agg, edge)}
-        d_cores = {
-            core
-            for agg in d_aggs
-            for core in view.core_neighbors(agg)
-            if view.alive(agg, core)
-        }
+        prefix, d_aggs, d_cores = _dest_state(view, edge, pod, position)
         _edge_overrides(view, overrides, edge, pod, prefix, d_aggs, d_cores)
         _agg_overrides(view, overrides, pod, prefix, d_cores)
     return overrides
+
+
+def _dest_state(view: FabricView, edge: int, pod: int,
+                position: int) -> tuple[tuple[int, int], set[int], set[int]]:
+    """``(prefix, D_aggs, D_cores)`` for one destination edge."""
+    value, bits = position_prefix(pod, position)
+    d_aggs = {agg for agg in view.aggs_in_pod(pod) if view.alive(agg, edge)}
+    d_cores = {
+        core
+        for agg in d_aggs
+        for core in view.core_neighbors(agg)
+        if view.alive(agg, core)
+    }
+    return (value.value, bits), d_aggs, d_cores
+
+
+def _relevance(view: FabricView, edge: int, pod: int) -> set[int]:
+    """Switches whose links feed ``edge``'s reachability analysis: the
+    edge itself, its pod's aggregation switches, and their cores. Every
+    quantity in :func:`_dest_state` and the per-sender avoid sets reads
+    only links with at least one endpoint in this set (an uplink chosen
+    by any sender must land on a core wired to the destination pod to
+    matter, and that core is in the set)."""
+    relevant = {edge}
+    for agg in view.aggs_in_pod(pod):
+        relevant.add(agg)
+        relevant.update(view.core_neighbors(agg))
+    return relevant
 
 
 def _touched_by_failure(view: FabricView, edge: int, pod: int) -> bool:
     """Whether any failed link could affect reachability of ``edge``:
     a link touching the edge itself, its pod's aggregation switches, or
     those switches' cores."""
-    relevant = {edge}
-    for agg in view.aggs_in_pod(pod):
-        relevant.add(agg)
-        relevant.update(view.core_neighbors(agg))
+    relevant = _relevance(view, edge, pod)
     return any(relevant & link for link in view.failed)
+
+
+def _avoid_for_edge(view: FabricView, other: int, pod: int,
+                    d_aggs: set[int], d_cores: set[int]) -> set[int]:
+    """Uplinks edge ``other`` must avoid for the prefix of a destination
+    edge in ``pod`` with viable sets ``d_aggs``/``d_cores``."""
+    phys_up = {nbr for nbr in view.neighbors_of(other).values()
+               if view.level(nbr) is SwitchLevel.AGGREGATION}
+    if view.pod(other) == pod:
+        allowed = phys_up & d_aggs
+    else:
+        allowed = {
+            agg for agg in phys_up
+            if any(view.alive(agg, core)
+                   for core in view.core_neighbors(agg)
+                   if core in d_cores)
+        }
+    return phys_up - allowed
+
+
+def _avoid_for_agg(view: FabricView, agg: int, d_cores: set[int]) -> set[int]:
+    """Core uplinks an other-pod aggregation switch must avoid."""
+    phys_cores = set(view.core_neighbors(agg))
+    return phys_cores - (phys_cores & d_cores)
 
 
 def _edge_overrides(view: FabricView, overrides: Overrides, edge: int,
@@ -90,18 +133,7 @@ def _edge_overrides(view: FabricView, overrides: Overrides, edge: int,
     for other in view.edges():
         if other == edge:
             continue
-        phys_up = {nbr for nbr in view.neighbors_of(other).values()
-                   if view.level(nbr) is SwitchLevel.AGGREGATION}
-        if view.pod(other) == pod:
-            allowed = phys_up & d_aggs
-        else:
-            allowed = {
-                agg for agg in phys_up
-                if any(view.alive(agg, core)
-                       for core in view.core_neighbors(agg)
-                       if core in d_cores)
-            }
-        avoid = phys_up - allowed
+        avoid = _avoid_for_edge(view, other, pod, d_aggs, d_cores)
         if avoid:
             overrides.setdefault(other, {})[prefix] = avoid
 
@@ -111,11 +143,162 @@ def _agg_overrides(view: FabricView, overrides: Overrides, pod: int,
     for agg in view.aggregations():
         if view.pod(agg) == pod:
             continue  # same-pod aggs route down directly or drop
-        phys_cores = set(view.core_neighbors(agg))
-        allowed = phys_cores & d_cores
-        avoid = phys_cores - allowed
+        avoid = _avoid_for_agg(view, agg, d_cores)
         if avoid:
             overrides.setdefault(agg, {})[prefix] = avoid
+
+
+class OverrideComputer:
+    """Incrementally maintained override map.
+
+    Tracks the same ``Overrides`` that :func:`compute_overrides` would
+    return for the current view, but on each change re-derives only the
+    destination prefixes the change can affect:
+
+    * a fault-matrix flip on link *l* touches exactly the prefixes whose
+      :func:`_relevance` set intersects *l*'s endpoints;
+    * a wiring change at switch *s* (LDP pruning or re-adding links in
+      its neighbour report) additionally rewrites *s*'s own avoid rows
+      for every prefix, since ``phys_up``/``core_neighbors`` of a sender
+      are read from its own record only — rows are recomputed from the
+      cached ``(D_aggs, D_cores)`` of each unaffected destination.
+
+    Level/pod/position changes (and anything else the caller cannot
+    attribute) fall back to a full recompute. ``edges_examined`` counts
+    destination prefixes re-derived over the computer's lifetime — the
+    per-event recompute-work metric the fig. 15 bench gates on.
+    """
+
+    def __init__(self) -> None:
+        self.overrides: Overrides = {}
+        #: edge_id -> (prefix, pod, d_aggs, d_cores) for touched edges.
+        self._dest: dict[int, tuple[tuple[int, int], int,
+                                    set[int], set[int]]] = {}
+        self._primed = False
+        self.edges_examined = 0
+        self.full_recomputes = 0
+        self.incremental_updates = 0
+
+    def reset(self) -> None:
+        """Forget everything (fabric-manager restart)."""
+        self.overrides = {}
+        self._dest = {}
+        self._primed = False
+
+    def update(self, view: FabricView,
+               changed_links: set[frozenset[int]] | None = None,
+               changed_switches: set[int] | None = None) -> Overrides:
+        """Bring the map up to date with ``view`` and return it.
+
+        ``changed_links`` are links whose fault or wiring state flipped
+        since the last update; ``changed_switches`` are switches whose
+        reported neighbour set changed. ``None`` (or an unprimed
+        computer) means "unknown" and forces a full recompute.
+        """
+        if changed_links is None or not self._primed:
+            self._full(view)
+            return self.overrides
+        self.incremental_updates += 1
+        changed_ids: set[int] = set(changed_switches or ())
+        for link in changed_links:
+            changed_ids.update(link)
+        self._recompute_affected(view, changed_ids)
+        if changed_switches:
+            self._recompute_rows(view, set(changed_switches))
+        return self.overrides
+
+    # -- full path ----------------------------------------------------
+
+    def _full(self, view: FabricView) -> None:
+        self.full_recomputes += 1
+        self.overrides = {}
+        self._dest = {}
+        self._primed = True
+        if not view.failed:
+            return
+        for edge in view.edges():
+            pod = view.pod(edge)
+            position = view.position(edge)
+            if pod is None or position is None:
+                continue
+            if not _touched_by_failure(view, edge, pod):
+                continue
+            self.edges_examined += 1
+            prefix, d_aggs, d_cores = _dest_state(view, edge, pod, position)
+            self._dest[edge] = (prefix, pod, d_aggs, d_cores)
+            _edge_overrides(view, self.overrides, edge, pod, prefix,
+                            d_aggs, d_cores)
+            _agg_overrides(view, self.overrides, pod, prefix, d_cores)
+
+    # -- incremental path ---------------------------------------------
+
+    def _recompute_affected(self, view: FabricView,
+                            changed_ids: set[int]) -> set[int]:
+        """Re-derive every destination prefix whose relevance set meets
+        ``changed_ids``; returns the edge ids that were re-derived."""
+        recomputed: set[int] = set()
+        live_edges = set(view.edges())
+        for edge in sorted(live_edges | set(self._dest)):
+            pod = view.pod(edge)
+            position = view.position(edge)
+            cached = self._dest.get(edge)
+            if edge not in live_edges or pod is None or position is None:
+                if cached is not None:  # edge left the view: retract
+                    self._strip_prefix(cached[0])
+                    del self._dest[edge]
+                    recomputed.add(edge)
+                continue
+            if not (_relevance(view, edge, pod) & changed_ids):
+                continue
+            recomputed.add(edge)
+            self.edges_examined += 1
+            if cached is not None:
+                self._strip_prefix(cached[0])
+                del self._dest[edge]
+            if not _touched_by_failure(view, edge, pod):
+                continue
+            prefix, d_aggs, d_cores = _dest_state(view, edge, pod, position)
+            self._strip_prefix(prefix)
+            self._dest[edge] = (prefix, pod, d_aggs, d_cores)
+            _edge_overrides(view, self.overrides, edge, pod, prefix,
+                            d_aggs, d_cores)
+            _agg_overrides(view, self.overrides, pod, prefix, d_cores)
+        return recomputed
+
+    def _recompute_rows(self, view: FabricView, senders: set[int]) -> None:
+        """Rewrite the avoid rows of wiring-changed sender switches for
+        every prefix that was *not* re-derived this round."""
+        for sender in senders:
+            level = view.level(sender)
+            for edge, (prefix, pod, d_aggs, d_cores) in self._dest.items():
+                if sender == edge:
+                    continue
+                if level is SwitchLevel.EDGE:
+                    avoid = _avoid_for_edge(view, sender, pod, d_aggs, d_cores)
+                elif (level is SwitchLevel.AGGREGATION
+                      and view.pod(sender) != pod):
+                    avoid = _avoid_for_agg(view, sender, d_cores)
+                else:
+                    avoid = set()
+                self._set_row(sender, prefix, avoid)
+
+    def _set_row(self, switch_id: int, prefix: tuple[int, int],
+                 avoid: set[int]) -> None:
+        if avoid:
+            self.overrides.setdefault(switch_id, {})[prefix] = avoid
+            return
+        prefix_map = self.overrides.get(switch_id)
+        if prefix_map is not None:
+            prefix_map.pop(prefix, None)
+            if not prefix_map:
+                del self.overrides[switch_id]
+
+    def _strip_prefix(self, prefix: tuple[int, int]) -> None:
+        for switch_id in list(self.overrides):
+            prefix_map = self.overrides[switch_id]
+            prefix_map.pop(prefix, None)
+            if not prefix_map:
+                del self.overrides[switch_id]
 
 
 def diff_overrides(old: Overrides, new: Overrides):

@@ -173,6 +173,7 @@ class FmType(enum.IntEnum):
     DISABLE_LINK = 18
     ENABLE_LINK = 19
     BROADCAST_RELAY = 20
+    OVERRIDE_REPORT = 21
 
 
 class FmMessage(Packet):
@@ -630,6 +631,41 @@ class BroadcastRelay(FmMessage):
         return cls(edge_id, src_pmac, ethertype, bytes(data[16:16 + length]))
 
 
+@dataclass(frozen=True)
+class OverrideReport(FmMessage):
+    """Switch → FM: the fault-override prefixes I currently hold.
+
+    Part of the soft-state refresh: overrides are the one piece of
+    *FM-originated* state agents hold, so a restarted fabric manager
+    cannot reconstruct them from its own registries. Comparing the
+    reported prefixes against ``_sent_overrides`` lets it retract
+    entries that no longer follow from the (rebuilt) fault matrix —
+    e.g. a link that recovered while the manager was down — and re-push
+    entries the switch is missing. Sent only while the switch holds at
+    least one override, so a healthy fabric pays nothing.
+    """
+
+    TYPE = FmType.OVERRIDE_REPORT
+    switch_id: int
+    prefixes: tuple[tuple[int, int], ...]
+
+    def encode(self) -> bytes:
+        head = (struct.pack("!B", self.TYPE) + _mac_bytes(self.switch_id)
+                + struct.pack("!H", len(self.prefixes)))
+        return head + b"".join(
+            _mac_bytes(value) + struct.pack("!B", bits)
+            for value, bits in self.prefixes)
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "OverrideReport":
+        switch_id = _mac_int(data[0:6])
+        (count,) = struct.unpack_from("!H", data, 6)
+        prefixes = tuple(
+            (_mac_int(data[8 + 7 * i : 14 + 7 * i]), data[14 + 7 * i])
+            for i in range(count))
+        return cls(switch_id, prefixes)
+
+
 _FM_CLASSES: dict[int, type[FmMessage]] = {
     int(cls.TYPE): cls
     for cls in (
@@ -637,6 +673,7 @@ _FM_CLASSES: dict[int, type[FmMessage]] = {
         NeighborReport, LinkFail, LinkRecover, FaultUpdate, FaultClear,
         McastInstall, McastRemove, IgmpRelay, McastMiss, Invalidate,
         GratuitousArp, DisableLink, EnableLink, BroadcastRelay,
+        OverrideReport,
     )
 }
 

@@ -82,6 +82,26 @@ class CampaignConfig:
     #: identical at any worker count; only wall time changes. Shrinking
     #: stays sequential in the parent.
     parallel: int = 1
+    #: Fabric-manager shard count for scenario fabrics (0/1 = classic
+    #: single FM; see :mod:`repro.portland.fm_shard`).
+    fm_shards: int = 0
+    #: Override-push batching window for scenario fabrics (0 = immediate).
+    fm_batch_interval_s: float = 0.0
+    #: Incremental override recomputation for scenario fabrics.
+    fm_incremental: bool = False
+    #: Add fabric-manager failure steps to the op mix: ``fm-restart``
+    #: (crash the FM — or one random cluster server — mid-campaign) and,
+    #: on sharded fabrics, ``fm-partition`` (sever one shard's control
+    #: links and its cluster-internal delivery for a window, then heal).
+    #: Implies a fast soft-state refresh so scenarios heal within
+    #: ``fm_settle_s``.
+    fm_ops: bool = False
+    #: Settle after an FM op (must cover heal + ≥2 refresh cycles).
+    fm_settle_s: float = 1.6
+    #: Soft-state refresh period used when ``fm_ops`` is on.
+    fm_refresh_s: float = 0.5
+    #: How long a partitioned shard stays severed before healing.
+    fm_partition_s: float = 0.3
 
 
 @dataclass
@@ -176,11 +196,19 @@ def scenario_seed_for(config: CampaignConfig, index: int) -> int:
 
 def _converged_fabric(sim: Simulator, k: int, hosts_per_edge: int,
                       path_cache_entries: int = 0, flow_mode: bool = False,
-                      backend: str = "fattree", topo_seed: int = 0):
+                      backend: str = "fattree", topo_seed: int = 0,
+                      fm_shards: int = 0, fm_batch_interval_s: float = 0.0,
+                      fm_incremental: bool = False,
+                      soft_state_refresh_s: float | None = None):
     from repro.portland.config import PortlandConfig
 
     config = PortlandConfig(path_cache_entries=path_cache_entries,
-                            flow_mode=flow_mode)
+                            flow_mode=flow_mode,
+                            fm_shards=fm_shards,
+                            fm_batch_interval_s=fm_batch_interval_s,
+                            fm_incremental=fm_incremental)
+    if soft_state_refresh_s is not None:
+        config.soft_state_refresh_s = soft_state_refresh_s
     scheme = scheme_for_backend(backend, k=k, hosts_per_edge=hosts_per_edge,
                                 topo_seed=topo_seed)
     if scheme is None:
@@ -254,6 +282,46 @@ class _MigrationPlanner:
         self.attachment[host] = (edge, port)
 
 
+def _fm_partition(fabric, rng: random.Random, config: CampaignConfig) -> str:
+    """Partition the fabric manager (or one shard of it) from the control
+    network for ``config.fm_partition_s`` seconds, then heal.
+
+    Sharded cluster: pick one shard, cut the control links of every switch
+    homed on it and mark the shard partitioned (inter-shard traffic to/from
+    it drops too); healing un-partitions the shard, which triggers a replica
+    resync from the coordinator.  Classic single FM: total control outage.
+    """
+    control = fabric.control
+    fm = fabric.fabric_manager
+    sim = fabric.sim
+
+    if hasattr(fm, "servers"):
+        shard = rng.choice(fm.shards)
+        links = [control.links_by_switch[sid]
+                 for sid in sorted(control.links_by_switch)
+                 if fm.home_index(sid) == shard.index]
+        fm.set_partitioned(shard, True)
+        label = f"fm-partition {shard.name}"
+
+        def heal() -> None:
+            for link in links:
+                link.recover()
+            fm.set_partitioned(shard, False)
+    else:
+        links = [control.links_by_switch[sid]
+                 for sid in sorted(control.links_by_switch)]
+        label = "fm-partition all"
+
+        def heal() -> None:
+            for link in links:
+                link.recover()
+
+    for link in links:
+        link.fail()
+    sim.schedule(config.fm_partition_s, heal)
+    return label
+
+
 def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
     """Run one seeded scenario; returns its result (never raises on
     violations — they are data)."""
@@ -262,10 +330,14 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
     result = ScenarioResult(seed=scenario_seed, k=k)
 
     sim = Simulator(seed=scenario_seed)
-    fabric = _converged_fabric(sim, k, config.hosts_per_edge,
-                               config.path_cache_entries, config.flow_mode,
-                               backend=config.backend,
-                               topo_seed=scenario_seed)
+    fabric = _converged_fabric(
+        sim, k, config.hosts_per_edge,
+        config.path_cache_entries, config.flow_mode,
+        backend=config.backend, topo_seed=scenario_seed,
+        fm_shards=config.fm_shards,
+        fm_batch_interval_s=config.fm_batch_interval_s,
+        fm_incremental=config.fm_incremental,
+        soft_state_refresh_s=config.fm_refresh_s if config.fm_ops else None)
     oracle = InvariantOracle(fabric)
     _start_probes(fabric, rng, config)
     sim.run(until=sim.now + 0.1)
@@ -284,6 +356,8 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
         ops = ["fail", "fail", "fail-switch", "recover"]
         if config.migrate:
             ops.append("migrate")
+        if config.fm_ops:
+            ops.extend(["fm-restart", "fm-partition"])
         op = rng.choice(ops)
         if op == "recover" and not failed:
             op = "fail"
@@ -322,6 +396,20 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
             planner.commit(host, edge, port)
             settle = config.migrate_settle_s
             result.steps.append(f"migrate {host}->{edge}:{port}")
+        elif op == "fm-restart":
+            fm = fabric.fabric_manager
+            if hasattr(fm, "servers"):
+                # Sharded: crash one random server (shard or coordinator).
+                target = rng.choice(fm.servers)
+                target.restart()
+                result.steps.append(f"fm-restart {target.name}")
+            else:
+                fm.restart()
+                result.steps.append("fm-restart")
+            settle = max(settle, config.fm_settle_s)
+        elif op == "fm-partition":
+            settle = max(settle, config.fm_settle_s)
+            result.steps.append(_fm_partition(fabric, rng, config))
 
         sim.run(until=sim.now + settle)
         oracle.check_now()

@@ -69,6 +69,50 @@ def test_second_resolution_uses_fast_path():
     assert fm.arp_misses == misses_after_first
 
 
+def test_same_edge_host_resolves_via_flood_exactly_once():
+    """The FM's flood deliberately includes the querying edge.
+
+    Edges proxy ARP to the FM and never flood locally, so a host that
+    shares the requester's edge switch can only hear the request through
+    the FM-mediated flood — excluding the origin edge would make
+    same-edge neighbours unresolvable on the slow path. The audit
+    counterpart: including it must not double-deliver to anyone.
+    """
+    fabric = quiet_fabric(seed=114)
+    sim = fabric.sim
+    fm = fabric.fabric_manager
+    hosts = fabric.host_list()
+    src, dst = hosts[0], hosts[1]
+    # Same edge switch by construction of the host plan.
+    spec_by_name = {spec.name: spec for spec in fabric.tree.hosts}
+    assert (spec_by_name[src.name].edge_switch
+            == spec_by_name[dst.name].edge_switch)
+
+    heard = []
+    original = dst.receive
+
+    def spy(frame, in_port):
+        from repro.net.arp import ARP_REQUEST, ArpPacket
+        from repro.net.ethernet import ETHERTYPE_ARP
+        from repro.net.packet import coerce
+        if frame.ethertype == ETHERTYPE_ARP:
+            arp = coerce(frame.payload, ArpPacket)
+            if arp.op == ARP_REQUEST and arp.sender_ip == src.ip:
+                heard.append(arp)
+        original(frame, in_port)
+
+    dst.receive = spy
+    UdpEchoServer(dst, 7)
+    pinger = UdpPinger(src, dst.ip)
+    pinger.ping()
+    sim.run(until=sim.now + 2.0)
+
+    assert fm.arp_misses >= 1
+    assert pinger.answered == 1
+    # Exactly one copy of the flooded request reached the neighbour.
+    assert len(heard) == 1
+
+
 def test_flood_skips_requesters_own_port():
     """The requester never sees its own flooded request echoed back."""
     fabric = quiet_fabric(seed=113)

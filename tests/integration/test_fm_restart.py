@@ -9,14 +9,17 @@ verify the fabric heals without any reconfiguration.
 from repro.host.apps import MulticastReceiver, MulticastSender, UdpEchoServer, UdpPinger
 from repro.net import ip as mkip
 from repro.portland.config import PortlandConfig
+from repro.portland.faults import compute_overrides
 from repro.sim import Simulator
 from repro.topology import LinkParams, build_portland_fabric
+from repro.verify import InvariantOracle
+from repro.workloads.arp_workload import ArpStorm
 
 REFRESH = 0.5
 
 
-def converged(sim, carrier=False):
-    config = PortlandConfig(soft_state_refresh_s=REFRESH)
+def converged(sim, carrier=False, **config_kwargs):
+    config = PortlandConfig(soft_state_refresh_s=REFRESH, **config_kwargs)
     fabric = build_portland_fabric(
         sim, k=4, config=config,
         link_params=LinkParams(carrier_detect=carrier))
@@ -112,6 +115,100 @@ def test_multicast_group_state_rebuilds():
     for rx in receivers:
         recent = [t for t in rx.arrival_times() if t > t0]
         assert len(recent) > 300
+
+
+def test_restart_during_arp_storm():
+    """Failover under fire: the FM crashes mid-ARP-storm and the fabric
+    keeps resolving — misses fall back to floods, the registry re-warms
+    from refreshes, and the invariant oracle stays clean."""
+    sim = Simulator(seed=76)
+    fabric = converged(sim)
+    fm = fabric.fabric_manager
+    oracle = InvariantOracle(fabric)
+    storm = ArpStorm(sim, fabric.host_list(), 50.0,
+                     sim.random.stream("restart-storm"))
+    storm.start()
+    sim.run(until=sim.now + 0.3)
+    fm.restart()
+    sim.run(until=sim.now + 1.0)
+    storm.stop()
+    sim.run(until=sim.now + 2.5 * REFRESH)
+
+    # Registry re-warmed; a cold resolution works end to end.
+    assert len(fm.hosts_by_ip) == len(fabric.hosts)
+    hosts = fabric.host_list()
+    UdpEchoServer(hosts[9], 7)
+    pinger = UdpPinger(hosts[2], hosts[9].ip)
+    hosts[2].arp_cache.invalidate(hosts[9].ip)
+    pinger.ping()
+    sim.run(until=sim.now + 0.5)
+    assert pinger.answered == 1
+    oracle.check_now()
+    assert oracle.violations == []
+    oracle.close()
+    # Counters stayed consistent across the crash: the new instance
+    # serviced real work and charged whole service slots for it.
+    assert fm.restarts == 1
+    assert fm.arp_queries > 0
+    slots = fm.busy_time / fm.config.fm_service_time_s
+    assert abs(slots - round(slots)) < 1e-9
+
+
+def test_restart_with_override_push_half_batched():
+    """A crash with a batching round half-open: the pending batch dies
+    with the instance, and the re-reported failure rebuilds the same
+    override state after refresh."""
+    sim = Simulator(seed=77)
+    fabric = converged(sim, carrier=True, fm_batch_interval_s=0.05)
+    fm = fabric.fabric_manager
+    link = fabric.link_between("agg-p0-s0", "core-0")
+    link.fail()
+    # Let the LinkFail reach the FM and open a batching round, then
+    # crash before the timer flushes it.
+    sim.run(until=sim.now + 0.02)
+    assert fm._batch_timer.armed
+    assert fm.override_updates_sent == 0
+    fm.restart()
+    assert not fm._batch_timer.armed
+    assert not fm._pending_links and not fm._pending_full
+
+    sim.run(until=sim.now + 2.5 * REFRESH + 0.1)
+    # Refresh re-taught the failure; the batched push converged to
+    # exactly the from-scratch override set.
+    assert len(fm.fault_matrix) == 1
+    assert fm._sent_overrides == compute_overrides(fm.view())
+    assert fm.override_updates_sent > 0
+
+    link.recover()
+    sim.run(until=sim.now + 0.5)
+    assert fm._sent_overrides == {}
+
+
+def test_recovery_while_fm_down_heals_via_override_report():
+    """The restart hole OverrideReport closes: a fault clears while the
+    FM is down, so nothing in the fault-driven path ever retracts the
+    overrides agents still hold — until the soft-state refresh reports
+    them and the FM sends the missing clears."""
+    sim = Simulator(seed=78)
+    fabric = converged(sim, carrier=True)
+    fm = fabric.fabric_manager
+    link = fabric.link_between("agg-p0-s0", "core-0")
+    link.fail()
+    sim.run(until=sim.now + 0.3)
+    holders = [a for a in fabric.agents.values() if a._fault_overrides]
+    assert holders  # overrides are installed in the fabric
+
+    fm.restart()
+    link.recover()
+    # The LinkRecover reports land on a manager that never knew the
+    # fault: they are idempotent no-ops, and the stale overrides would
+    # stay installed forever without reconciliation.
+    sim.run(until=sim.now + 0.1)
+    assert any(a._fault_overrides for a in holders)
+    assert fm._sent_overrides == {}
+
+    sim.run(until=sim.now + 2.5 * REFRESH)
+    assert not any(a._fault_overrides for a in fabric.agents.values())
 
 
 def test_pod_numbers_not_reused_after_restart():

@@ -3,7 +3,12 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.portland.faults import apply_diff, compute_overrides, diff_overrides
+from repro.portland.faults import (
+    OverrideComputer,
+    apply_diff,
+    compute_overrides,
+    diff_overrides,
+)
 from repro.portland.messages import SwitchLevel
 from repro.portland.pmac import position_prefix
 from repro.portland.topology_view import FabricView, SwitchRecord
@@ -270,3 +275,74 @@ def test_recovery_sequence_clears_partition_overrides():
     mid = compute_overrides(make_fat_tree_view(failed=[(200, 101)]))
     assert mid[102][key] == {202}  # only the group of the dead agg
     assert key not in mid.get(100, {}) or mid[100][key] == {200}
+
+
+# ----------------------------------------------------------------------
+# Incremental override maintenance (OverrideComputer): after any mix of
+# fault flips and one-sided wiring changes the incrementally maintained
+# map must equal a from-scratch compute_overrides of the same view.
+
+
+def _candidate_links(view):
+    links = []
+    for sid, record in sorted(view.switches.items()):
+        for _port, (nbr, _level) in sorted(record.neighbors.items()):
+            if sid < nbr:
+                links.append((sid, nbr))
+    return links
+
+
+_ops = st.lists(
+    st.tuples(st.sampled_from(("fault", "wire")), st.integers(0, 10**6)),
+    min_size=1, max_size=12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_incremental_computer_matches_full(ops):
+    view = make_fat_tree_view()
+    links = _candidate_links(view)
+    computer = OverrideComputer()
+    computer.update(view)  # prime on the clean fabric
+    removed: dict[tuple[int, int], tuple[int, SwitchLevel]] = {}
+
+    for kind, n in ops:
+        if kind == "fault":
+            link = frozenset(links[n % len(links)])
+            if link in view.failed:
+                view.failed.discard(link)
+            else:
+                view.failed.add(link)
+            got = computer.update(view, changed_links={link})
+        else:
+            # One-sided wiring toggle (LDP pruning / re-adding an uplink
+            # in one switch's report): ports 2-3 are the up-neighbours
+            # of both edges and aggs in the hand-built k=4 view.
+            targets = sorted(view.edges()) + sorted(view.aggregations())
+            sid = targets[n % len(targets)]
+            port = 2 + (n // len(targets)) % 2
+            record = view.switches[sid]
+            if (sid, port) in removed:
+                record.neighbors[port] = removed.pop((sid, port))
+            elif port in record.neighbors:
+                removed[(sid, port)] = record.neighbors.pop(port)
+            else:
+                continue
+            nbr = (removed.get((sid, port)) or record.neighbors[port])[0]
+            got = computer.update(view,
+                                  changed_links={frozenset((sid, nbr))},
+                                  changed_switches={sid})
+        assert got == compute_overrides(view)
+
+
+def test_computer_full_fallback_on_unattributed_change():
+    view = make_fat_tree_view(failed=[(200, 101)])
+    computer = OverrideComputer()
+    first = computer.update(view, changed_links={frozenset((200, 101))})
+    # Unprimed: the attributed change still forces a full recompute.
+    assert computer.full_recomputes == 1
+    assert first == compute_overrides(view)
+    view.failed.clear()
+    # None = "cannot attribute": full recompute again.
+    assert computer.update(view) == {}
+    assert computer.full_recomputes == 2
