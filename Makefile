@@ -1,6 +1,6 @@
 # Convenience targets for the PortLand reproduction.
 
-.PHONY: install test bench bench-kernel bench-smoke bench-flows bench-flows-smoke bench-topo bench-parallel bench-fm examples lint-clean verify verify-flows verify-topo verify-parallel verify-fm test-topo all
+.PHONY: install test bench bench-kernel bench-smoke bench-flows bench-flows-smoke bench-hybrid bench-hybrid-smoke bench-topo bench-parallel bench-fm examples lint-clean verify verify-flows verify-hybrid verify-topo verify-parallel verify-fm test-topo all
 
 install:
 	pip install -e .
@@ -34,6 +34,16 @@ bench-flows:
 bench-flows-smoke:
 	PYTHONPATH=src pytest tests/test_flows_smoke.py -q
 
+# Hybrid fluid+frame acceptance: k=16 fluid background sea under a
+# frame TCP foreground with mid-window faults; writes BENCH_hybrid.json
+# (docs/FLOWS.md, hybrid section).
+bench-hybrid:
+	PYTHONPATH=src pytest benchmarks/bench_hybrid.py --benchmark-only -q
+
+# Reduced-scale hybrid coupling gates (tier-1 cousin).
+bench-hybrid-smoke:
+	PYTHONPATH=src pytest tests/test_hybrid_smoke.py -q
+
 # Fixed-seed invariant fault campaign (see docs/VERIFY.md).
 verify:
 	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25
@@ -42,6 +52,12 @@ verify:
 # resolved flow path instead of per-frame hops (docs/FLOWS.md).
 verify-flows:
 	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25 --flow-mode
+
+# The campaign in hybrid fluid+frame mode: probe pairs alternate
+# between fluid flows and frame UDP streams on capacity-coupled links,
+# so the oracle checks frame hops and fluid paths in the same scenario.
+verify-hybrid:
+	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25 --hybrid
 
 # The same 25-scenario campaign on every topology backend — the
 # cross-fabric conformance gate (docs/TOPOLOGIES.md).

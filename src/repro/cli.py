@@ -175,12 +175,15 @@ def cmd_flows(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import CampaignConfig, run_campaign
 
+    flow_mode: bool | str = args.flow_mode
+    if getattr(args, "hybrid", False):
+        flow_mode = "hybrid"
     config = CampaignConfig(
         scenarios=args.scenarios, seed=args.seed,
         backend=args.backend,
         ks=tuple(args.k), steps=args.steps,
         path_cache_entries=4096 if args.path_cache else 0,
-        flow_mode=args.flow_mode, parallel=args.parallel,
+        flow_mode=flow_mode, parallel=args.parallel,
         fm_shards=args.fm_shards, fm_batch_interval_s=args.fm_batch,
         fm_incremental=args.fm_incremental, fm_ops=args.fm_ops)
     report = run_campaign(config, log=print if not args.quiet else None)
@@ -243,6 +246,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run scenarios in flow-level (fluid) simulation "
                         "mode: probes become fluid flows and the oracle "
                         "checks every resolved flow path")
+    p.add_argument("--hybrid", action="store_true",
+                   help="run scenarios in hybrid fluid+frame mode: probe "
+                        "pairs alternate between fluid flows and frame "
+                        "UDP streams, coupled through shared link "
+                        "capacity (implies --flow-mode semantics)")
     p.add_argument("--steps", type=int, default=4,
                    help="random fault/migration steps per scenario")
     p.add_argument("--fm-shards", type=int, default=0, metavar="N",

@@ -38,13 +38,17 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
-from repro.flows.flow import Flow, ResolvedPath
+from repro.flows.flow import Flow, FluidTcp, ResolvedPath
+from repro.host.tcp.congestion import DEFAULT_MSS, INITIAL_WINDOW_SEGMENTS
+from repro.host.tcp.connection import RECEIVE_WINDOW
+from repro.net.link import PER_FRAME_OVERHEAD_BYTES
 from repro.sim.events import PRIORITY_LOW
 from repro.sim.process import Timer
 from repro.switching.hop_walk import walk_decision_path
 from repro.switching.switch import FlowSwitch
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link, Port
     from repro.topology.builder import PortlandFabric
 
 #: Saturation slack for the progressive filling loop, in bits/s — six
@@ -53,6 +57,71 @@ _EPS_BPS = 1e-3
 
 #: Default re-resolve period while flows are stalled or volatile.
 DEFAULT_RETRY_INTERVAL_S = 0.020
+
+#: Gross wire occupancy of a zero-payload TCP control segment (SYN /
+#: pure ACK / FIN): the 64-byte minimum Ethernet frame plus preamble and
+#: inter-frame gap. Clocks the model's reverse (ACK) direction.
+_ACK_GROSS_BYTES = 64 + PER_FRAME_OVERHEAD_BYTES
+
+#: Minimum spare path capacity (gross bits/s) that makes window growth
+#: worth waking up for. A window-bound flow on a saturated path would
+#: just be cut back next recompute — ramp ticks there would re-run the
+#: whole AIMD cycle every RTT for nothing.
+_MIN_RAMP_HEADROOM_BPS = 1e6
+
+#: Timestamp slack for the ready_at/close_at deadline checks.
+_EPS_S = 1e-12
+
+
+def max_min_allocate(demands: list[float], segs_of: list[list[int]],
+                     remaining: dict[int, float],
+                     active: set[int] | None = None) -> list[float]:
+    """Progressive-filling max-min allocation.
+
+    ``demands[i]`` is flow *i*'s rate ceiling (``inf`` for greedy),
+    ``segs_of[i]`` the constrained directed-link ids it occupies, and
+    ``remaining`` the spare capacity per directed link id — mutated in
+    place so the caller can read post-allocation headroom. ``active``
+    restricts which flows participate (others get 0). Returns the
+    per-flow rates.
+
+    Invariants (property-tested in ``tests/flows/test_refill_properties``):
+    every rate ≤ its demand; per-link allocations sum to ≤ the link's
+    starting capacity; and removing a flow improves the survivors in
+    the *leximin* order — the sorted survivor rate vector never drops
+    lexicographically (per-flow monotonicity is genuinely false for
+    multi-link max-min: freeing one link can let a neighbor grow and
+    squeeze a third flow elsewhere).
+    """
+    rates = [0.0] * len(demands)
+    unfrozen = (set(range(len(demands))) if active is None
+                else set(active))
+    for _round in range(len(demands) + 1):
+        if not unfrozen:
+            break
+        members: dict[int, int] = {}
+        for i in unfrozen:
+            for pid in segs_of[i]:
+                members[pid] = members.get(pid, 0) + 1
+        delta = min(demands[i] - rates[i] for i in unfrozen)
+        for pid, count in members.items():
+            share = remaining[pid] / count
+            if share < delta:
+                delta = share
+        if delta > 0 and not math.isinf(delta):
+            for i in unfrozen:
+                rates[i] += delta
+            for pid, count in members.items():
+                remaining[pid] -= delta * count
+        frozen = {
+            i for i in unfrozen
+            if rates[i] >= demands[i] - _EPS_BPS
+            or any(remaining[pid] <= _EPS_BPS for pid in segs_of[i])
+        }
+        if not frozen:
+            break
+        unfrozen -= frozen
+    return rates
 
 
 class FlowEngine:
@@ -69,6 +138,14 @@ class FlowEngine:
         self.sim = fabric.sim
         self.path_cache = fabric.path_cache
         self.retry_interval_s = retry_interval_s
+        config = fabric.config
+        #: Hybrid fluid+frame execution: push fluid allocations onto the
+        #: links (slowing frame serialization there) and subtract the
+        #: epoch-sampled frame load from the capacity water-filling sees.
+        self.hybrid = config.flow_mode == "hybrid"
+        self.epoch_s = config.hybrid_epoch_s
+        #: RTT-aware TCP rate model for greedy flows (see FluidTcp).
+        self.tcp_enabled = config.fluid_tcp
         if self.path_cache is not None:
             self.path_cache.add_invalidation_listener(self._on_invalidation)
         #: Admitted, not-yet-completed flows (stalled ones included).
@@ -80,12 +157,26 @@ class FlowEngine:
         self._completion_timer = Timer(self.sim, self._kick,
                                        priority=PRIORITY_LOW)
         self._retry_timer = Timer(self.sim, self._kick, priority=PRIORITY_LOW)
+        # Hybrid capacity-sharing state (all empty outside hybrid runs).
+        #: Directed links fluid flows currently cross: id(port) -> (link,
+        #: tx port). The epoch tick samples frame load on exactly these.
+        self._fluid_dirs: dict[int, tuple["Link", "Port"]] = {}
+        #: Frame tx-byte watermark per direction at the last epoch tick.
+        self._frame_seen: dict[int, int] = {}
+        #: Frame-load EWMA per direction (gross bits/s).
+        self._frame_ewma: dict[int, float] = {}
+        self._epoch_timer = Timer(self.sim, self._epoch_tick,
+                                  priority=PRIORITY_LOW)
         # Counters (see stats()).
         self.flows_started = 0
         self.flows_completed = 0
         self.recomputes = 0
         self.reresolutions = 0
         self.stall_events = 0
+        #: Utilization epochs sampled (hybrid mode only).
+        self.epoch_ticks = 0
+        #: Times the TCP model cut a window to its share's BDP.
+        self.tcp_cuts = 0
         #: Times a routed flow was allocated less than its demand (its
         #: max-min share hit a saturated link). Zero over a whole run
         #: certifies the run was demand-limited — the regime in which
@@ -141,9 +232,23 @@ class FlowEngine:
         self._recompute_pending = False
         self.recomputes += 1
         self._settle()
+        now = self.sim.now
         for flow in [f for f in self.flows if f.finished_transfer]:
-            self._finish(flow, completed=True)
+            tcp = flow.tcp
+            if tcp is None:
+                self._finish(flow, completed=True)
+                continue
+            # TCP flows linger for the drain tail: the last frame still
+            # has to cross the remaining hops and the FIN exchange has
+            # to complete before the sender's FCT clock stops.
+            if tcp.close_at is None:
+                tcp.close_at = now + tcp.tail_s
+                tcp.cwnd_limited = False
+                self._set_rate(flow, 0.0)
+            if now >= tcp.close_at - _EPS_S:
+                self._finish(flow, completed=True)
         self._resolve_all()
+        self._advance_windows()
         self._refill()
         self._arm_timers()
 
@@ -227,6 +332,8 @@ class FlowEngine:
                                             dst=str(flow.dst_ip))
                 continue
             self.reresolutions += 1
+            if self.tcp_enabled and flow.demand_bps is None:
+                self._tcp_attach(flow, resolved)
             sig = resolved.hop_records
             if sig != flow._path_sig:
                 if had_path or flow._path_sig == ():
@@ -269,8 +376,13 @@ class FlowEngine:
             hop_records = tuple(
                 (hop.switch_name, hop.entry_name, hop.in_index)
                 for hop in compiled.hops)
+            # Cut-through transit never queues: only the ingress host
+            # link (a real Link queue in frame mode too) is a shared
+            # capacity constraint. See ResolvedPath.constrained.
             return ResolvedPath(segments, compiled.entries, hop_records,
-                                compiled)
+                                compiled,
+                                constrained=(True,)
+                                + (False,) * len(compiled.hops))
         hops, final_port = walk_decision_path(edge, edge_port.index, frame,
                                               require_live=True)
         if final_port is None:
@@ -283,6 +395,100 @@ class FlowEngine:
         return ResolvedPath(segments, entries, hop_records, None)
 
     # ------------------------------------------------------------------
+    # RTT-aware fluid TCP model (greedy flows only)
+
+    def _tcp_attach(self, flow: Flow, path: ResolvedPath) -> None:
+        """(Re)derive the flow's TCP timing from its resolved hop list.
+
+        Called on every (re)resolution: a reroute updates the RTT, setup
+        and tail terms to the new path while the window state (cwnd,
+        ssthresh, growth clock) carries over — exactly what a live
+        connection experiences when the fabric re-routes it. The reverse
+        (ACK) direction is approximated over the same links, which is
+        exact on symmetric topologies and a close bound elsewhere.
+        """
+        gross = flow._frame_gross
+        fwd = rev = 0.0
+        for link, _port in path.segments:
+            fwd += gross * 8.0 / link.rate_bps + link.delay_s
+            rev += _ACK_GROSS_BYTES * 8.0 / link.rate_bps + link.delay_s
+        first = path.segments[0][0]
+        config = self.fabric.config
+        # One ARP resolution through the edge's proxy + fabric manager:
+        # two switch software traversals, the control-network round
+        # trip, one FM service slot, and the request/reply pair crossing
+        # the host's access link.
+        arp_s = (2.0 * config.agent_delay_s + 2.0 * config.control_delay_s
+                 + config.fm_service_time_s
+                 + 2.0 * (_ACK_GROSS_BYTES * 8.0 / first.rate_bps
+                          + first.delay_s))
+        tcp = flow.tcp
+        if tcp is None:
+            tcp = flow.tcp = FluidTcp(
+                cwnd_bytes=float(INITIAL_WINDOW_SEGMENTS * DEFAULT_MSS),
+                max_window_bytes=float(RECEIVE_WINDOW),
+                mss_bytes=float(DEFAULT_MSS))
+            # Handshake: both ends ARP-resolve their peer (sender before
+            # the SYN, receiver before the SYN-ACK), then the SYN /
+            # SYN-ACK control frames cross the path once each way.
+            tcp.setup_s = 2.0 * arp_s + 2.0 * rev
+            start = flow.started_at
+            if start is None or start < self.sim.now:
+                start = self.sim.now
+            tcp.ready_at = start + tcp.setup_s
+            tcp.last_tick = tcp.ready_at
+        tcp.rtt_s = fwd + rev
+        # Drain tail once the fluid transfer has clocked every byte onto
+        # the first link: the last frame crosses the remaining hops
+        # (store-and-forward), then the FIN exchange returns.
+        tcp.tail_s = (fwd - gross * 8.0 / first.rate_bps) + rev
+
+    def _advance_windows(self) -> None:
+        """Grow every ready TCP flow's window by the RTTs elapsed since
+        its last growth tick: slow-start doubling below ssthresh, one
+        MSS per RTT (additive increase) above. Growth accrues lazily at
+        recompute points; the per-RTT wakeups in :meth:`_arm_timers`
+        only fire while a flow is window-bound with path headroom."""
+        now = self.sim.now
+        for flow in self.flows:
+            tcp = flow.tcp
+            if tcp is None or tcp.rtt_s <= 0.0 or now < tcp.ready_at:
+                continue
+            if not tcp.cwnd_limited:
+                # Ack-clocked at its share (or capped): growth would be
+                # cut right back next refill, so the clock idles.
+                tcp.last_tick = now
+                continue
+            while (now - tcp.last_tick >= tcp.rtt_s - _EPS_S
+                   and tcp.cwnd_bytes < tcp.max_window_bytes):
+                tcp.last_tick += tcp.rtt_s
+                if tcp.cwnd_bytes < tcp.ssthresh_bytes:
+                    tcp.cwnd_bytes = min(tcp.cwnd_bytes * 2.0,
+                                         tcp.max_window_bytes)
+                else:
+                    tcp.cwnd_bytes = min(tcp.cwnd_bytes + tcp.mss_bytes,
+                                         tcp.max_window_bytes)
+            if tcp.cwnd_bytes >= tcp.max_window_bytes:
+                # Growth is capped: stop accumulating idle RTTs so a
+                # later cut restarts the clock from the cut, not from
+                # here.
+                tcp.last_tick = now
+
+    def _tcp_cut(self, flow: Flow, tcp: FluidTcp, gross_rate: float) -> None:
+        """Bottleneck saturation: ack-clocking pins the window to the
+        allocated share's bandwidth-delay product (floored at one MSS),
+        and future growth is additive from there."""
+        payload_bps = gross_rate / flow.gross_per_payload
+        bdp = max(tcp.mss_bytes, payload_bps * tcp.rtt_s / 8.0)
+        if bdp < tcp.cwnd_bytes:
+            tcp.cwnd_bytes = bdp
+            tcp.ssthresh_bytes = bdp
+            tcp.cuts += 1
+            self.tcp_cuts += 1
+        tcp.last_tick = self.sim.now
+        tcp.cwnd_limited = False
+
+    # ------------------------------------------------------------------
     # Max-min fair rate allocation (progressive filling)
 
     def _refill(self) -> None:
@@ -293,64 +499,88 @@ class FlowEngine:
             else:
                 routed.append(flow)
         if not routed:
+            if self.hybrid:
+                self._sync_hybrid_dirs({}, {})
             return
+        now = self.sim.now
         remaining: dict[int, float] = {}
+        dir_map: dict[int, tuple["Link", "Port"]] = {}
+        #: Constrained directed links per flow — the water-filling set.
         segs_of: list[list[int]] = []
+        #: Every directed link per flow — liveness + hybrid load push.
+        all_of: list[list[int]] = []
         dead: set[int] = set()
         for flow in routed:
             seg_ids = []
-            for link, port in flow._path.segments:
+            con_ids = []
+            constrained = flow._path.constrained
+            for si, (link, port) in enumerate(flow._path.segments):
                 pid = id(port)
                 if pid not in remaining:
-                    remaining[pid] = link.capacity_bps(port)
+                    # Capacity net of measured frame load in hybrid mode
+                    # (floored well above zero there, so frame
+                    # congestion is never mistaken for a dead carrier);
+                    # identical to capacity_bps in pure fluid mode.
+                    remaining[pid] = link.fluid_capacity_bps(port)
+                    dir_map[pid] = (link, port)
                 seg_ids.append(pid)
-            segs_of.append(seg_ids)
+                if constrained[si]:
+                    con_ids.append(pid)
+            all_of.append(seg_ids)
+            segs_of.append(con_ids)
         # A dead direction (capacity 0) means the pinned path went stale
         # without an invalidation reaching us (volatile fallback paths
         # have no carrier hooks): drop the path so the next recompute
         # re-resolves, and allocate nothing meanwhile.
-        rates = [0.0] * len(routed)
-        demands = [flow.gross_demand_bps for flow in routed]
-        unfrozen: set[int] = set()
-        for i, seg_ids in enumerate(segs_of):
+        demands = [0.0] * len(routed)
+        for i, flow in enumerate(routed):
+            tcp = flow.tcp
+            if flow.finished_transfer:
+                # FIN drain: every byte is on the wire already, the flow
+                # holds no bandwidth while it waits out its tail.
+                demands[i] = 0.0
+            elif tcp is not None:
+                if now < tcp.ready_at - _EPS_S:
+                    demands[i] = 0.0  # handshake still in flight
+                else:
+                    demands[i] = min(flow.gross_demand_bps,
+                                     tcp.rate_bound_bps()
+                                     * flow.gross_per_payload)
+            else:
+                demands[i] = flow.gross_demand_bps
+        alive_flows: set[int] = set()
+        for i, seg_ids in enumerate(all_of):
             if any(remaining[pid] <= 0.0 for pid in seg_ids):
                 dead.add(i)
             else:
-                unfrozen.add(i)
-        for _round in range(len(routed) + 1):
-            if not unfrozen:
-                break
-            members: dict[int, int] = {}
-            for i in unfrozen:
-                for pid in segs_of[i]:
-                    members[pid] = members.get(pid, 0) + 1
-            delta = min(demands[i] - rates[i] for i in unfrozen)
-            for pid, count in members.items():
-                share = remaining[pid] / count
-                if share < delta:
-                    delta = share
-            if delta > 0 and not math.isinf(delta):
-                for i in unfrozen:
-                    rates[i] += delta
-                for pid, count in members.items():
-                    remaining[pid] -= delta * count
-            frozen = {
-                i for i in unfrozen
-                if rates[i] >= demands[i] - _EPS_BPS
-                or any(remaining[pid] <= _EPS_BPS for pid in segs_of[i])
-            }
-            if not frozen:
-                break
-            unfrozen -= frozen
+                alive_flows.add(i)
+        rates = max_min_allocate(demands, segs_of, remaining,
+                                 active=alive_flows)
+        loads: dict[int, float] = {}
         for i, flow in enumerate(routed):
             if i in dead:
                 flow._path = None
                 flow._path_sig = ()
                 self._set_rate(flow, 0.0)
-            else:
-                if rates[i] < demands[i] - _EPS_BPS:
-                    self.bottleneck_events += 1
-                self._set_rate(flow, rates[i] / flow.gross_per_payload)
+                continue
+            tcp = flow.tcp
+            if rates[i] < demands[i] - _EPS_BPS:
+                self.bottleneck_events += 1
+                if tcp is not None:
+                    self._tcp_cut(flow, tcp, rates[i])
+            elif tcp is not None and demands[i] > 0.0:
+                # Window-bound at its ceiling: ramp per RTT, but only
+                # while the path has spare capacity the growth could
+                # actually claim.
+                headroom = min(remaining[pid] for pid in segs_of[i])
+                tcp.cwnd_limited = (tcp.cwnd_bytes < tcp.max_window_bytes
+                                    and headroom > _MIN_RAMP_HEADROOM_BPS)
+            self._set_rate(flow, rates[i] / flow.gross_per_payload)
+            if self.hybrid and rates[i] > 0.0:
+                for pid in all_of[i]:
+                    loads[pid] = loads.get(pid, 0.0) + rates[i]
+        if self.hybrid:
+            self._sync_hybrid_dirs(dir_map, loads)
 
     def _set_rate(self, flow: Flow, rate_bps: float) -> None:
         if flow.rate_bps != rate_bps:
@@ -358,9 +588,54 @@ class FlowEngine:
             flow.rate_log.append((self.sim.now, rate_bps))
 
     # ------------------------------------------------------------------
+    # Hybrid capacity sharing (fluid <-> frame coupling)
+
+    def _sync_hybrid_dirs(self, dir_map: dict, loads: dict) -> None:
+        """Push this round's fluid allocations onto the links and retire
+        directions fluid no longer crosses (clearing their fluid *and*
+        frame load so the links return to exact single-mode behaviour)."""
+        for pid, (link, port) in self._fluid_dirs.items():
+            if pid not in dir_map:
+                link.set_fluid_load(port, 0.0)
+                link.set_frame_load(port, 0.0)
+                self._frame_seen.pop(pid, None)
+                self._frame_ewma.pop(pid, None)
+        for pid, (link, port) in dir_map.items():
+            link.set_fluid_load(port, loads.get(pid, 0.0))
+        self._fluid_dirs = dir_map
+
+    def _epoch_tick(self) -> None:
+        """Coarse utilization epoch: re-estimate the frame path's load
+        on every direction fluid flows cross (EWMA over the per-epoch
+        frame tx bytes) and trigger a recompute only when some
+        direction's estimate moved materially — so a steady frame mix
+        costs one cheap sampling pass per epoch, not a refill."""
+        self.epoch_ticks += 1
+        changed = False
+        for pid, (link, port) in self._fluid_dirs.items():
+            frame_bytes = link.frame_tx_bytes(port)
+            prev = self._frame_seen.get(pid)
+            self._frame_seen[pid] = frame_bytes
+            inst = (0.0 if prev is None
+                    else (frame_bytes - prev) * 8.0 / self.epoch_s)
+            old = self._frame_ewma.get(pid, 0.0)
+            new = 0.5 * old + 0.5 * inst
+            if new < 1.0:
+                new = 0.0
+            self._frame_ewma[pid] = new
+            link.set_frame_load(port, new)
+            if abs(new - old) > 0.005 * link.rate_bps:
+                changed = True
+        if changed and self.flows:
+            self._kick()
+        if self.flows:
+            self._epoch_timer.start(self.epoch_s)
+
+    # ------------------------------------------------------------------
     # Timers
 
     def _arm_timers(self) -> None:
+        now = self.sim.now
         next_done = math.inf
         any_volatile = False
         any_stalled = False
@@ -369,6 +644,18 @@ class FlowEngine:
                 any_stalled = True
             elif flow._path.compiled is None:
                 any_volatile = True
+            tcp = flow.tcp
+            if tcp is not None:
+                if tcp.close_at is not None:
+                    # FIN drain: wake exactly when the tail completes.
+                    next_done = min(next_done, tcp.close_at - now)
+                    continue
+                if now < tcp.ready_at - _EPS_S:
+                    next_done = min(next_done, tcp.ready_at - now)
+                    continue
+                if tcp.cwnd_limited:
+                    next_done = min(next_done,
+                                    tcp.last_tick + tcp.rtt_s - now)
             if flow.size_bytes is not None and flow.rate_bps > 0:
                 eta = (flow.size_bytes - flow.transferred_bytes) * 8 / flow.rate_bps
                 next_done = min(next_done, eta)
@@ -380,6 +667,12 @@ class FlowEngine:
             self._retry_timer.start(self.retry_interval_s)
         else:
             self._retry_timer.stop()
+        if self.hybrid:
+            if self.flows:
+                if not self._epoch_timer.armed:
+                    self._epoch_timer.start(self.epoch_s)
+            else:
+                self._epoch_timer.stop()
 
     # ------------------------------------------------------------------
     # Observability
@@ -395,4 +688,6 @@ class FlowEngine:
             "reresolutions": self.reresolutions,
             "stall_events": self.stall_events,
             "bottleneck_events": self.bottleneck_events,
+            "tcp_cuts": self.tcp_cuts,
+            "epoch_ticks": self.epoch_ticks,
         }

@@ -32,6 +32,61 @@ if TYPE_CHECKING:  # pragma: no cover
 COMPLETION_SLACK_BYTES = 1e-3
 
 
+class FluidTcp:
+    """RTT-aware TCP rate-model state for one *greedy* fluid flow.
+
+    Replaces the instant max-min jump with what a bulk TCP transfer over
+    the same hop list actually does: nothing until the handshake
+    completes (``ready_at`` = start + ARP resolution at both ends + the
+    SYN/SYN-ACK round trip), then a window-clocked rate bounded by
+    ``min(cwnd, rwnd) * 8 / rtt`` that ramps per RTT (slow-start
+    doubling below ``ssthresh``, one MSS per RTT above) and is *cut* to
+    the bandwidth-delay product of the allocated share when a bottleneck
+    link saturates, and finally a ``tail_s`` drain (last frame crossing
+    the remaining hops plus the FIN exchange) before the flow counts as
+    complete. All times are derived from the resolved hop list's
+    per-link serialization + propagation delays, so the model tracks the
+    frame path across topologies and link speeds. See docs/FLOWS.md.
+    """
+
+    __slots__ = ("rtt_s", "setup_s", "tail_s", "ready_at", "close_at",
+                 "cwnd_bytes", "ssthresh_bytes", "max_window_bytes",
+                 "mss_bytes", "last_tick", "cwnd_limited", "cuts")
+
+    def __init__(self, cwnd_bytes: float, max_window_bytes: float,
+                 mss_bytes: float) -> None:
+        self.rtt_s = 0.0
+        self.setup_s = 0.0
+        self.tail_s = 0.0
+        #: Absolute time data may start flowing (handshake done).
+        self.ready_at = math.inf
+        #: Absolute time the FIN exchange completes (set once the fluid
+        #: transfer has pushed every byte onto the first link).
+        self.close_at: float | None = None
+        self.cwnd_bytes = cwnd_bytes
+        self.ssthresh_bytes = math.inf
+        self.max_window_bytes = max_window_bytes
+        self.mss_bytes = mss_bytes
+        #: Window-growth clock: cwnd advances once per elapsed rtt_s.
+        self.last_tick = math.inf
+        #: Whether the last allocation was window-bound (ramping) rather
+        #: than link-bound — only ramping flows need per-RTT wakeups.
+        self.cwnd_limited = False
+        #: Times the window was cut to the allocated share's BDP.
+        self.cuts = 0
+
+    @property
+    def window_bytes(self) -> float:
+        """Effective window: cwnd clamped by the receive window."""
+        return min(self.cwnd_bytes, self.max_window_bytes)
+
+    def rate_bound_bps(self) -> float:
+        """Window-clocked payload-rate ceiling, in bits/s."""
+        if self.rtt_s <= 0.0:
+            return math.inf
+        return self.window_bytes * 8.0 / self.rtt_s
+
+
 class ResolvedPath:
     """A flow's pinned hop list, in charging-ready form.
 
@@ -47,16 +102,32 @@ class ResolvedPath:
     cache invalidates it; a *volatile* path (interpreted-walk fallback,
     used when compilation is refused) carries no invalidation hooks and
     is re-resolved on every engine recomputation instead.
+
+    ``constrained`` marks, per segment, whether the water-filling treats
+    the directed link as a shared capacity constraint. The engine
+    constrains exactly the links where the frame executor it mirrors
+    actually *queues*: every segment of a volatile (interpreted) path,
+    but only the ingress host link of a compiled path — cut-through
+    composite events charge wire time on transit hops without mid-path
+    queueing, so fluid transit there is likewise contention-free (this
+    is what keeps fluid FCTs agreeing with the frame path's). All
+    segments, constrained or not, still count for liveness detection,
+    counter charging, and hybrid load push.
     """
 
-    __slots__ = ("segments", "entries", "hop_records", "compiled")
+    __slots__ = ("segments", "entries", "hop_records", "compiled",
+                 "constrained")
 
     def __init__(self, segments, entries, hop_records,
-                 compiled: "CompiledPath | None") -> None:
+                 compiled: "CompiledPath | None",
+                 constrained: tuple[bool, ...] | None = None) -> None:
         self.segments: tuple[tuple["Link", "Port"], ...] = segments
         self.entries = entries
         self.hop_records = hop_records
         self.compiled = compiled
+        if constrained is None:
+            constrained = (True,) * len(segments)
+        self.constrained = constrained
 
     @property
     def alive(self) -> bool:
@@ -125,6 +196,9 @@ class Flow:
         self.reroutes = 0
 
         # Engine-owned state.
+        #: TCP rate-model state — attached by the engine on first path
+        #: resolution when the model is enabled and the flow is greedy.
+        self.tcp: FluidTcp | None = None
         self._path: ResolvedPath | None = None
         self._path_sig: tuple | None = None
         self._charged_frames = 0

@@ -47,9 +47,12 @@ class TcpBulkSender:
             self.conn.send(want)
             self._pushed += want
         if self.total_bytes is not None and self._pushed >= self.total_bytes:
-            if self.conn.unsent_bytes == 0 and self.conn.flight_size == 0:
-                self.conn.close()
-                return
+            # Every byte is queued: close now, so the FIN rides right
+            # behind the data (the connection defers it until the send
+            # buffer drains). Waiting for the next poll tick here would
+            # quantize every finite transfer's FCT up to the 10 ms timer.
+            self.conn.close()
+            return
         if not self._refill_pending:
             self._refill_pending = True
             self.host.sim.schedule(0.01, self._refill)

@@ -32,6 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Preamble (8B) + inter-frame gap (12B) charged per frame on the wire.
 PER_FRAME_OVERHEAD_BYTES = 20
 
+#: Fraction of the link rate a direction always keeps available to each
+#: side of a hybrid run, however loaded the other side is. Keeps a
+#: frame-congested direction from reading as *carrier-dead* to the fluid
+#: engine (capacity 0 would make it drop the pinned path) and keeps
+#: fluid saturation from stretching frame serialization to infinity.
+HYBRID_CAPACITY_FLOOR = 0.01
+
 #: 1 Gb/s, the paper's testbed link speed.
 DEFAULT_RATE_BPS = 1_000_000_000
 #: A conservative intra-rack propagation delay.
@@ -154,6 +161,17 @@ class Link:
         self._loss_rng = (sim.random.stream(f"link-loss/{self.name}")
                           if loss_rate > 0 else None)
         self._dirs: dict[int, _Direction] = {id(a): _Direction(), id(b): _Direction()}
+        # Hybrid fluid+frame capacity sharing (see docs/FLOWS.md). All
+        # three dicts are keyed by id(src_port) and stay EMPTY outside
+        # hybrid runs, so the classic frame and fluid paths execute the
+        # exact same float operations as before (golden-trace identical).
+        #: Gross fluid rate currently allocated per transmit direction.
+        self._fluid_bps: dict[int, float] = {}
+        #: Frame-path load estimate per transmit direction (epoch EWMA).
+        self._frame_bps: dict[int, float] = {}
+        #: Cumulative fluid-charged tx bytes per transmit direction —
+        #: lets the epoch tick separate frame bytes out of tx_bytes.
+        self._fluid_tx_bytes: dict[int, int] = {}
         a.link = self
         b.link = self
         if carrier_detect:
@@ -169,9 +187,25 @@ class Link:
             return self.a
         raise LinkError(f"{port} is not an endpoint of {self.name}")
 
-    def serialization_time(self, frame: EthernetFrame) -> float:
-        """Seconds to clock ``frame`` (plus preamble/IFG) onto the wire."""
-        return (frame.wire_length() + PER_FRAME_OVERHEAD_BYTES) * self._sec_per_byte
+    def serialization_time(self, frame: EthernetFrame,
+                           src_port: Port | None = None) -> float:
+        """Seconds to clock ``frame`` (plus preamble/IFG) onto the wire.
+
+        When ``src_port`` is given and fluid flows hold part of that
+        direction (hybrid mode), the frame only gets the residual rate:
+        serialization stretches by ``rate / (rate - fluid)``, floored at
+        :data:`HYBRID_CAPACITY_FLOOR` so a fluid-saturated direction
+        degrades instead of stalling. With no fluid load registered the
+        classic single-mode expression runs unchanged.
+        """
+        base = (frame.wire_length() + PER_FRAME_OVERHEAD_BYTES) * self._sec_per_byte
+        if src_port is not None and self._fluid_bps:
+            fluid = self._fluid_bps.get(id(src_port), 0.0)
+            if fluid > 0.0:
+                residual = max(self.rate_bps - fluid,
+                               self.rate_bps * HYBRID_CAPACITY_FLOOR)
+                return base * (self.rate_bps / residual)
+        return base
 
     def add_state_listener(self, listener) -> None:
         """Call ``listener()`` after every carrier-state change of this
@@ -194,6 +228,45 @@ class Link:
             return 0.0
         return self.rate_bps
 
+    def fluid_capacity_bps(self, src_port: Port) -> float:
+        """Capacity the fluid engine may water-fill in the ``src_port``
+        direction: :meth:`capacity_bps` minus the frame path's measured
+        load (hybrid mode), floored at :data:`HYBRID_CAPACITY_FLOOR` of
+        the rate so frame congestion is never mistaken for a dead
+        direction. Identical to :meth:`capacity_bps` outside hybrid runs
+        (no frame load registered)."""
+        cap = self.capacity_bps(src_port)
+        if cap <= 0.0 or not self._frame_bps:
+            return cap
+        frame = self._frame_bps.get(id(src_port), 0.0)
+        if frame <= 0.0:
+            return cap
+        return max(cap - frame, self.rate_bps * HYBRID_CAPACITY_FLOOR)
+
+    def set_fluid_load(self, src_port: Port, bps: float) -> None:
+        """Register the gross fluid rate allocated over the ``src_port``
+        direction (hybrid mode). Zero/negative clears the entry, so the
+        dict stays empty — and serialization bit-identical — whenever no
+        fluid flow actually crosses the direction."""
+        if bps > 0.0:
+            self._fluid_bps[id(src_port)] = bps
+        else:
+            self._fluid_bps.pop(id(src_port), None)
+
+    def set_frame_load(self, src_port: Port, bps: float) -> None:
+        """Register the frame path's estimated load on the ``src_port``
+        direction (hybrid mode epoch tick). Zero/negative clears."""
+        if bps > 0.0:
+            self._frame_bps[id(src_port)] = bps
+        else:
+            self._frame_bps.pop(id(src_port), None)
+
+    def frame_tx_bytes(self, src_port: Port) -> int:
+        """Transmit bytes the *frame* path put on the ``src_port``
+        direction: the port counter minus fluid-charged bytes."""
+        return (src_port.counters.tx_bytes
+                - self._fluid_tx_bytes.get(id(src_port), 0))
+
     def fluid_charge(self, src_port: Port, frames: int, nbytes: int) -> None:
         """Charge ``frames``/``nbytes`` of fluid (flow-level) traffic to
         the ``src_port`` → peer direction's counters.
@@ -204,6 +277,8 @@ class Link:
         """
         src_port.counters.tx_frames += frames
         src_port.counters.tx_bytes += nbytes
+        pid = id(src_port)
+        self._fluid_tx_bytes[pid] = self._fluid_tx_bytes.get(pid, 0) + nbytes
         dst = self.other_end(src_port).counters
         dst.rx_frames += frames
         dst.rx_bytes += nbytes
@@ -236,7 +311,7 @@ class Link:
     def _start_transmission(self, src_port: Port, direction: _Direction,
                             frame: EthernetFrame) -> None:
         direction.transmitting = True
-        duration = self.serialization_time(frame)
+        duration = self.serialization_time(frame, src_port)
         src_port.counters.tx_frames += 1
         src_port.counters.tx_bytes += frame.wire_length()
         self.sim.schedule(duration, self._transmission_done, src_port, direction)

@@ -47,7 +47,25 @@ class PortlandConfig:
     #: cache on (with :data:`~repro.switching.path_cache.DEFAULT_PATH_CAPACITY`
     #: when ``path_cache_entries`` is 0) — flow path resolution and
     #: invalidation ride the same machinery as cut-through transit.
-    flow_mode: bool = False
+    #: ``"hybrid"`` additionally couples the two executors through shared
+    #: ``Link`` capacity: fluid allocations slow frame serialization on
+    #: the links they cross, and measured frame load (epoch EWMA) shrinks
+    #: the capacity the fluid water-filling distributes — one run can
+    #: carry 10k+ background fluid flows under frame-level foreground
+    #: flows of interest.
+    flow_mode: bool | str = False
+    #: RTT-aware fluid TCP model for *greedy* fluid flows (demand_bps
+    #: None): handshake setup latency, cwnd ramp bounded by the resolved
+    #: hop list's RTT, window cut to the share's BDP on bottleneck
+    #: saturation, and a FIN drain tail — so fluid FCTs converge to what
+    #: the frame path's TCP stack measures instead of jumping instantly
+    #: to max-min rates. Demand-limited (CBR) flows are never affected.
+    fluid_tcp: bool = True
+    #: Hybrid-mode utilization epoch: how often the engine samples frame
+    #: bytes per direction to refresh the frame-load EWMA (and how fast
+    #: fluid capacity reacts to foreground bursts). Only read when
+    #: ``flow_mode == "hybrid"``.
+    hybrid_epoch_s: float = 0.005
     #: Debounce for neighbor reports to the fabric manager.
     report_debounce_s: float = 0.005
 

@@ -65,11 +65,26 @@ _POD_IN_NAME = re.compile(r"-p(\d+)-")
 _INTERNAL_HEADER = 8
 
 
-def owner_index_for_ip(ip: IPv4Address, n_shards: int) -> int:
-    """Registry owner shard for ``ip``: its pod octet modulo the shard
-    count (the ``10.pod.edge.host`` plan makes this a true by-pod
-    partition on fat trees, and a stable hash elsewhere)."""
-    return ((ip.value >> 16) & 0xFF) % n_shards
+def owner_index_for_ip(ip: IPv4Address, n_shards: int,
+                       pod_plan: bool = True) -> int:
+    """Registry owner shard for ``ip``.
+
+    With ``pod_plan`` (the fat-tree ``10.pod.edge.host`` layout): the
+    pod octet modulo the shard count — a true by-pod partition, so
+    same-pod ARP lookups stay on the querier's home shard. Backends
+    whose IP plan has no pod structure (``scheme.pod_ip_plan`` False —
+    the two-layer design packs every host into pod 0, which would pin
+    the whole registry onto shard 0) use a stable FNV-1a hash over all
+    four octets instead: balanced, and independent of Python's
+    randomized ``hash()``.
+    """
+    if pod_plan:
+        return ((ip.value >> 16) & 0xFF) % n_shards
+    h = 0x811C9DC5
+    for shift in (24, 16, 8, 0):
+        h ^= (ip.value >> shift) & 0xFF
+        h = (h * 0x01000193) & 0xFFFFFFFF
+    return h % n_shards
 
 
 def pod_hint_from_name(name: str | None) -> int | None:
@@ -278,6 +293,10 @@ class FmShardCluster:
         self.sim = sim
         self.config = config
         self.name = "fm-cluster"
+        #: Whether the backend's IP plan carries pod structure in the
+        #: second octet (fat trees do; see :func:`owner_index_for_ip`).
+        self.pod_ip_plan = scheme is None or getattr(
+            scheme, "pod_ip_plan", True)
         n = max(1, config.fm_shards)
         self.coordinator = FmCoordinator(sim, config, self, scheme=scheme)
         self.shards = [FmShard(sim, config, self, i) for i in range(n)]
@@ -319,7 +338,8 @@ class FmShardCluster:
         return [self.coordinator, *self.shards]
 
     def owner_shard(self, ip: IPv4Address) -> FmShard:
-        return self.shards[owner_index_for_ip(ip, len(self.shards))]
+        return self.shards[owner_index_for_ip(ip, len(self.shards),
+                                              self.pod_ip_plan)]
 
     def forward(self, sender: FabricManager, target: FabricManager,
                 message) -> None:

@@ -230,11 +230,11 @@ class PathCache:
                 trace.emit(time, "verify.hop", hop.switch_name,
                            payload=payload, dst=dst, ethertype=ethertype,
                            entry=hop.entry_name, in_port=hop.in_index)
-                time = time + (hop.link.serialization_time(frame)
+                time = time + (hop.link.serialization_time(frame, hop.out_port)
                                + hop.link.delay_s)
         else:
             for hop in path.hops:
-                time = time + (hop.link.serialization_time(frame)
+                time = time + (hop.link.serialization_time(frame, hop.out_port)
                                + hop.link.delay_s)
         self.launches += 1
         sim.schedule_at(time, self._complete, path, frame)

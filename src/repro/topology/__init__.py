@@ -41,6 +41,7 @@ __all__ += [
     "validate_tree",
 ]
 
+from repro.topology.expansion import JellyfishExpansion, expand_jellyfish_live
 from repro.topology.jellyfish import build_jellyfish, expand_jellyfish
 from repro.topology.scheme import (
     BACKEND_NAMES,
@@ -60,6 +61,7 @@ from repro.topology.twolayer import (
 __all__ += [
     "BACKEND_NAMES",
     "FatTreeScheme",
+    "JellyfishExpansion",
     "JellyfishScheme",
     "TopologyScheme",
     "TwoLayerDesign",
@@ -69,5 +71,6 @@ __all__ += [
     "build_twolayer",
     "design_twolayer",
     "expand_jellyfish",
+    "expand_jellyfish_live",
     "scheme_for_backend",
 ]

@@ -82,6 +82,13 @@ class TopologyScheme:
     fat-tree behavior" at that extension point."""
 
     name = "abstract"
+    #: Whether host IPs follow the fat-tree ``10.pod.edge.host`` plan —
+    #: i.e. the second octet is a real pod that balances a by-pod
+    #: registry partition. Backends without pod structure in their IPs
+    #: set this False so the sharded fabric manager falls back to a
+    #: stable full-IP hash for registry-owner placement (see
+    #: :func:`repro.portland.fm_shard.owner_index_for_ip`).
+    pod_ip_plan = True
 
     def __init__(self, tree: FatTree) -> None:
         self.tree = tree
@@ -246,6 +253,9 @@ class TwoLayerFatTreeScheme(FatTreeScheme):
     """
 
     name = "twolayer"
+    #: Every host lives in pod 0, so by-pod placement would pin the
+    #: whole registry onto shard 0.
+    pod_ip_plan = False
 
     def __init__(self, tree: FatTree) -> None:
         super().__init__(tree)
@@ -335,6 +345,10 @@ class JellyfishScheme(TopologyScheme):
     """
 
     name = "jellyfish"
+    #: The "pod" here is a flat ToR index, not a pod: it has no
+    #: locality the by-pod partition could exploit, and it wraps at the
+    #: IP octet for large graphs — hash the full IP instead.
+    pod_ip_plan = False
 
     def __init__(self, tree: FatTree) -> None:
         super().__init__(tree)
@@ -355,6 +369,20 @@ class JellyfishScheme(TopologyScheme):
                 self._next_hops[(src, dst)] = tuple(sorted(
                     nbr for nbr in self._graph.neighbors(src)
                     if self._dist[nbr][dst] == here - 1))
+
+    def rewire(self, tree: FatTree) -> None:
+        """Adopt an expanded structure in place (live expansion).
+
+        Every consumer — agents resolving :meth:`route_entries`, the
+        fabric manager computing overrides, the oracle's reachability
+        checks — holds a reference to *this* scheme object, so
+        recomputing the derived state in place (graph, locators,
+        distance table, next-hop DAG) repoints them all at once.
+        Existing switches keep their locators: :func:`expand_jellyfish`
+        appends the new switch to ``edge_names``, and locators are
+        enumeration order.
+        """
+        JellyfishScheme.__init__(self, tree)
 
     # -- locator assignment -------------------------------------------
 

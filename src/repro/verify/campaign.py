@@ -59,6 +59,14 @@ class CampaignConfig:
     max_links_per_failure: int = 3
     #: Allow VM-migration steps.
     migrate: bool = True
+    #: Add live Jellyfish-expansion steps to the op mix (jellyfish
+    #: backend only): splice a new ToR into the running fabric
+    #: (:func:`repro.topology.expansion.expand_jellyfish_live`) and
+    #: require the oracle to come back clean once settled. Off by
+    #: default so existing campaign draw sequences are unchanged; note
+    #: the splice needs an even switch degree, so it engages on odd
+    #: ``ks`` (degree ``k-1``) and records a skip otherwise.
+    expand: bool = False
     #: Stop a scenario at its first violating step.
     stop_on_violation: bool = True
     #: How many failing scenarios to shrink (shrinking rebuilds fabrics).
@@ -72,8 +80,13 @@ class CampaignConfig:
     #: :class:`repro.flows.FlowEngine`, and the oracle additionally
     #: checks every ``verify.flow`` hop list (loop freedom, up*-down*
     #: validity, host delivery) — including the re-resolved paths flows
-    #: pin after each fault/recovery/migration step.
-    flow_mode: bool = False
+    #: pin after each fault/recovery/migration step. ``"hybrid"`` runs
+    #: both executors coupled through shared link capacity
+    #: (``PortlandConfig(flow_mode="hybrid")``): probe pairs alternate
+    #: between fluid flows and frame-level UDP streams, so every
+    #: scenario exercises fluid re-resolution *and* per-frame hop checks
+    #: on the same faulted fabric.
+    flow_mode: bool | str = False
     #: Payload rate per fluid probe flow (flow-mode scenarios only).
     fluid_probe_bps: float = 50e6
     #: Worker processes scenarios are sharded over (1 = in-process
@@ -195,7 +208,8 @@ def scenario_seed_for(config: CampaignConfig, index: int) -> int:
 
 
 def _converged_fabric(sim: Simulator, k: int, hosts_per_edge: int,
-                      path_cache_entries: int = 0, flow_mode: bool = False,
+                      path_cache_entries: int = 0,
+                      flow_mode: bool | str = False,
                       backend: str = "fattree", topo_seed: int = 0,
                       fm_shards: int = 0, fm_batch_interval_s: float = 0.0,
                       fm_incremental: bool = False,
@@ -229,9 +243,10 @@ def _start_probes(fabric, rng: random.Random, config: CampaignConfig):
     count = min(config.probe_pairs, len(hosts) // 2)
     shuffled = hosts[:]
     rng.shuffle(shuffled)
+    hybrid = config.flow_mode == "hybrid"
     for i in range(count):
         src, dst = shuffled[2 * i], shuffled[2 * i + 1]
-        if config.flow_mode:
+        if config.flow_mode and not (hybrid and i % 2):
             # Open-ended fluid flows: they survive the whole scenario,
             # re-resolving (and re-emitting ``verify.flow``) after every
             # fault step — exactly the trajectories the oracle must vet.
@@ -239,6 +254,8 @@ def _start_probes(fabric, rng: random.Random, config: CampaignConfig):
                 src, dst.ip, demand_bps=config.fluid_probe_bps,
                 dport=6000 + i, name=f"probe-{i}")
         else:
+            # Frame-level probes — all of them in frame mode, every
+            # other pair in hybrid mode (both executors under oracle).
             receivers.append(UdpStreamReceiver(dst, 6000 + i))
             UdpStreamSender(src, dst.ip, 6000 + i,
                             rate_pps=config.probe_rate_pps).start()
@@ -280,6 +297,18 @@ class _MigrationPlanner:
         self.free[old_edge].add(old_port)
         self.free[edge].discard(port)
         self.attachment[host] = (edge, port)
+
+    def adopt_switch(self, fabric, expansion) -> None:
+        """Register a freshly spliced-in switch and its hosts (live
+        Jellyfish expansion) without disturbing tracked migrations."""
+        scheme = fabric.routing_scheme()
+        new_hosts = {spec.name: (spec.edge_switch, spec.edge_port)
+                     for spec in fabric.tree.hosts
+                     if spec.name in set(expansion.hosts)}
+        self.attachment.update(new_hosts)
+        occupied = {port for _edge, port in new_hosts.values()}
+        self.free[expansion.new_switch] = (
+            scheme.host_port_capacity(expansion.new_switch) - occupied)
 
 
 def _fm_partition(fabric, rng: random.Random, config: CampaignConfig) -> str:
@@ -358,6 +387,8 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
             ops.append("migrate")
         if config.fm_ops:
             ops.extend(["fm-restart", "fm-partition"])
+        if config.expand and config.backend == "jellyfish":
+            ops.append("expand")
         op = rng.choice(ops)
         if op == "recover" and not failed:
             op = "fail"
@@ -396,6 +427,31 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
             planner.commit(host, edge, port)
             settle = config.migrate_settle_s
             result.steps.append(f"migrate {host}->{edge}:{port}")
+        elif op == "expand":
+            from repro.errors import TopologyError
+            from repro.topology.expansion import expand_jellyfish_live
+
+            try:
+                expansion = expand_jellyfish_live(
+                    fabric, seed=rng.randrange(2 ** 31))
+            except TopologyError as exc:
+                result.steps.append(f"expand (skipped: {exc})")
+                continue
+            # Spliced links no longer exist: drop them from the fault
+            # bookkeeping and recompute the candidate pool (which now
+            # includes the new switch's links).
+            for pair in expansion.spliced:
+                failed.pop(pair, None)
+            candidates = fabric.routing_scheme().fault_candidate_links()
+            by_switch = {}
+            for a, b in candidates:
+                by_switch.setdefault(a, []).append((a, b))
+                by_switch.setdefault(b, []).append((a, b))
+            planner.adopt_switch(fabric, expansion)
+            settle = max(settle, config.migrate_settle_s)
+            result.steps.append(
+                f"expand +{expansion.new_switch}"
+                f" (spliced {len(expansion.spliced)})")
         elif op == "fm-restart":
             fm = fabric.fabric_manager
             if hasattr(fm, "servers"):

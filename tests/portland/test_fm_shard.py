@@ -41,6 +41,39 @@ def test_owner_index_partitions_by_pod_octet():
     assert owner_index_for_ip(IPv4Address.parse("10.3.9.9"), 2) == 1
 
 
+def test_owner_index_hash_fallback_balances_flat_ip_plans():
+    # The two-layer plan puts every host in 10.0.edge.host: by-pod
+    # placement would pin the whole registry onto shard 0. The
+    # full-IP hash fallback (pod_plan=False) must spread it.
+    ips = [IPv4Address.parse(f"10.0.{e}.{h + 2}")
+           for e in range(16) for h in range(8)]
+    by_pod = {owner_index_for_ip(ip, 4) for ip in ips}
+    assert by_pod == {0}  # the imbalance the fallback exists to fix
+    counts: dict[int, int] = {}
+    for ip in ips:
+        idx = owner_index_for_ip(ip, 4, pod_plan=False)
+        counts[idx] = counts.get(idx, 0) + 1
+    assert set(counts) == {0, 1, 2, 3}
+    assert max(counts.values()) <= 2 * min(counts.values())
+
+
+def test_cluster_placement_mode_follows_scheme():
+    from repro.topology.scheme import scheme_for_backend
+
+    sim = Simulator(seed=84)
+    config = PortlandConfig(fm_shards=4)
+    # Fat tree (no scheme): by-pod placement.
+    assert FmShardCluster(sim, config).pod_ip_plan
+    # Flat IP plans: stable-hash placement.
+    for backend in ("twolayer", "jellyfish"):
+        scheme = scheme_for_backend(backend, k=4)
+        cluster = FmShardCluster(sim, config, scheme=scheme)
+        assert not cluster.pod_ip_plan
+        ip = IPv4Address.parse("10.0.1.2")
+        assert cluster.owner_shard(ip) is cluster.shards[
+            owner_index_for_ip(ip, 4, pod_plan=False)]
+
+
 def test_pod_hint_from_name():
     assert pod_hint_from_name("edge-p3-s1") == 3
     assert pod_hint_from_name("agg-p12-s0") == 12
