@@ -1,6 +1,6 @@
 # Convenience targets for the PortLand reproduction.
 
-.PHONY: install test bench bench-kernel bench-smoke bench-flows bench-flows-smoke bench-hybrid bench-hybrid-smoke bench-topo bench-parallel bench-fm examples lint-clean verify verify-flows verify-hybrid verify-topo verify-parallel verify-fm test-topo all
+.PHONY: install test bench bench-kernel bench-smoke bench-flows bench-flows-smoke bench-hybrid bench-hybrid-smoke bench-topo bench-parallel bench-fm bench-policy examples lint-clean verify verify-flows verify-hybrid verify-topo verify-parallel verify-fm verify-policy test-topo all
 
 install:
 	pip install -e .
@@ -91,16 +91,37 @@ verify-parallel:
 # Sharded fabric manager under fire: the 25-scenario campaign with a
 # 4-way FM shard cluster, batched + incremental override pushes, and
 # fm-restart / fm-partition steps mixed into the op schedule
-# (docs/PROTOCOLS.md, fabric-manager section).
+# (docs/PROTOCOLS.md, fabric-manager section). The second lane repeats
+# at k=8 under host churn: a background ARP storm plus a
+# migration-weighted op mix stress soft-state refresh and the shard
+# registry at scale.
 verify-fm:
 	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25 \
 		--fm-shards 4 --fm-ops --fm-batch 0.02 --fm-incremental
+	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 5 \
+		--k 8 --fm-shards 4 --fm-ops --fm-batch 0.02 --fm-incremental \
+		--churn
+
+# The 25-scenario campaign with acl-install/acl-revoke steps mixed in:
+# the oracle additionally checks that every drop on an ACL'd pair is
+# justified, that no frame leaks across an installed ACL, and that
+# strict-priority ports never let bulk bytes ahead of priority frames
+# (docs/POLICY.md).
+verify-policy:
+	PYTHONPATH=src python -m repro.cli --seed 7 verify --scenarios 25 \
+		--policy
 
 # Fabric-manager control-plane benches (Figs. 14/15 extended to the
 # sharded FM): batching/incremental gates; writes BENCH_fm.json.
 bench-fm:
 	PYTHONPATH=src pytest benchmarks/bench_fig14_fm_control_traffic.py \
 		benchmarks/bench_fig15_fm_cpu.py --benchmark-only -q
+
+# QoS headline: k=8 incast, strict-priority vs FIFO queues — gates a
+# >=2x mice p99 one-way-latency win for priority queueing and writes
+# BENCH_policy.json (docs/POLICY.md).
+bench-policy:
+	PYTHONPATH=src pytest benchmarks/bench_policy.py --benchmark-only -q
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -1,0 +1,137 @@
+"""QoS headline: k=8 incast, strict-priority queues vs FIFO.
+
+The experiment the policy subsystem exists for (docs/POLICY.md): 16
+bulk TCP senders converge on one reducer — the classic
+partition/aggregate incast — saturating the reducer's edge downlink,
+while small ``DSCP_EF``-marked UDP mice cross the same bottleneck. The
+arms differ in exactly one bit, ``LinkParams(priority_queues=...)``:
+
+* **priority** — strict-priority egress queues; every mouse overtakes
+  the queued elephant backlog at each port;
+* **fifo** — a single drop-tail queue per port; every mouse waits
+  behind whatever elephant bytes got there first (and may be
+  tail-dropped with them).
+
+Gates:
+
+* **latency protection** — mice one-way p99 must improve >=2x with
+  priority queues (it is typically >100x: the FIFO arm's p99 is a
+  full drop-tail queue drain, the priority arm's is near-propagation);
+* **no starvation accounting** — the elephants must deliver the same
+  bytes in both arms (mice are ~0.01% of offered load; strict priority
+  must not distort bulk throughput), and the per-class counters
+  (`repro.metrics.utilization.class_totals`) must show both classes on
+  the wire in the priority arm;
+* **loss polarity** — the priority arm loses no mice.
+
+Writes ``BENCH_policy.json`` (schema: `repro.metrics.benchout`).
+Run via ``make bench-policy``.
+"""
+
+import time
+
+from common import (
+    bench_payload,
+    converged_portland,
+    print_header,
+    run_once,
+    save_results,
+    write_bench_json,
+)
+from repro import LinkParams
+from repro.metrics.utilization import class_drop_totals, class_totals
+from repro.policy import CLASS_PRIORITY
+from repro.workloads.incast import IncastWorkload
+
+K = 8
+SEED = 77
+SENDERS = 16
+P99_IMPROVEMENT_FLOOR = 2.0
+
+
+def _run_incast(priority_queues: bool):
+    """One converged k=8 fabric + incast run; returns (workload, fabric,
+    wall seconds)."""
+    t0 = time.perf_counter()
+    fabric = converged_portland(
+        SEED, k=K, timeout_s=10.0,
+        link_params=LinkParams(carrier_detect=True,
+                               priority_queues=priority_queues))
+    hosts = fabric.host_list()
+    reducer = hosts[0]
+    reducer_pod = reducer.name.split("-")[1]
+    senders = [h for h in hosts
+               if h.name.split("-")[1] != reducer_pod][:SENDERS]
+    workload = IncastWorkload(fabric.sim, senders, reducer)
+    workload.start()
+    workload.run()
+    return workload, fabric, time.perf_counter() - t0
+
+
+def test_incast_priority_protects_mice(benchmark):
+    prio, prio_fabric, prio_wall = run_once(
+        benchmark, lambda: _run_incast(priority_queues=True))
+    fifo, _fifo_fabric, fifo_wall = _run_incast(priority_queues=False)
+
+    prio_stats = prio.mice_stats()
+    fifo_stats = fifo.mice_stats()
+    improvement = fifo_stats.p99 / prio_stats.p99
+    tx_by_class = class_totals(prio_fabric.links)
+    drops_by_class = class_drop_totals(prio_fabric.links)
+
+    print_header(
+        f"incast mice under elephants, k={K} "
+        f"({SENDERS} TCP bulks -> 1 reducer, {prio.mice_sent} EF mice)")
+    print(f"priority arm: mice p99 {prio_stats.p99 * 1e6:.1f} us "
+          f"(mean {prio_stats.mean * 1e6:.1f} us), "
+          f"{prio.mice_lost} lost, "
+          f"elephants {prio.elephant_bytes() / 1e6:.1f} MB; "
+          f"wall {prio_wall:.1f} s")
+    print(f"fifo arm:     mice p99 {fifo_stats.p99 * 1e6:.1f} us "
+          f"(mean {fifo_stats.mean * 1e6:.1f} us), "
+          f"{fifo.mice_lost} lost, "
+          f"elephants {fifo.elephant_bytes() / 1e6:.1f} MB; "
+          f"wall {fifo_wall:.1f} s")
+    print(f"mice p99 improvement: {improvement:.1f}x "
+          f"(floor {P99_IMPROVEMENT_FLOOR:.0f}x)")
+    print(f"priority-arm class bytes: {tx_by_class}, "
+          f"class drops: {drops_by_class}")
+
+    assert improvement >= P99_IMPROVEMENT_FLOOR, (
+        f"strict-priority queues only improved mice p99 by "
+        f"{improvement:.2f}x over FIFO (floor {P99_IMPROVEMENT_FLOOR}x) — "
+        f"the priority path has regressed")
+    assert prio.mice_lost == 0, (
+        f"priority arm tail-dropped {prio.mice_lost} mice — EF traffic "
+        f"should never queue long enough to hit the drop-tail budget here")
+    assert prio.mice_received == prio.mice_sent
+    # Both classes actually rode the wire in the priority arm, and the
+    # bulk class got no free ride from the mice being prioritized.
+    assert tx_by_class.get(CLASS_PRIORITY, 0) > 0
+    low, high = sorted((prio.elephant_bytes(), fifo.elephant_bytes()))
+    assert low > 0 and low / high > 0.95, (
+        f"elephant delivery diverged between arms: {low} vs {high} bytes")
+
+    payload = bench_payload(
+        "policy",
+        ratio=round(improvement, 1),
+        events=prio.mice_sent,
+        wall_s=round(prio_wall + fifo_wall, 2),
+        config={
+            "k": K, "seed": SEED, "senders": SENDERS,
+            "mice": prio.mice_sent,
+            "mice_payload_bytes": prio.mice_payload_bytes,
+            "mice_dscp": prio.mice_dscp,
+        },
+        priority_p99_us=round(prio_stats.p99 * 1e6, 1),
+        priority_mean_us=round(prio_stats.mean * 1e6, 1),
+        fifo_p99_us=round(fifo_stats.p99 * 1e6, 1),
+        fifo_mean_us=round(fifo_stats.mean * 1e6, 1),
+        priority_mice_lost=prio.mice_lost,
+        fifo_mice_lost=fifo.mice_lost,
+        elephant_mb=round(prio.elephant_bytes() / 1e6, 1),
+        class_tx_bytes={str(c): b for c, b in sorted(tx_by_class.items())},
+        class_drops={str(c): n for c, n in sorted(drops_by_class.items())},
+    )
+    save_results("policy", payload)
+    write_bench_json("policy", payload)

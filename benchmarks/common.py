@@ -33,13 +33,19 @@ def converge(fabric: PortlandFabric,
 
 
 def converged_portland(seed: int, k: int = 4, carrier: bool = False,
-                       tree=None, config=None,
+                       tree=None, config=None, link_params=None,
                        timeout_s: float = 5.0) -> PortlandFabric:
-    """A fully discovered + registered PortLand fabric."""
+    """A fully discovered + registered PortLand fabric.
+
+    ``link_params`` overrides the default ``LinkParams`` wholesale (and
+    then ``carrier`` is ignored) — used by arms that vary a physical
+    knob like ``priority_queues``.
+    """
     sim = Simulator(seed=seed)
     fabric = build_portland_fabric(
         sim, k=k, config=config,
-        link_params=LinkParams(carrier_detect=carrier), tree=tree)
+        link_params=link_params or LinkParams(carrier_detect=carrier),
+        tree=tree)
     converge(fabric, timeout_s=timeout_s)
     return fabric
 

@@ -185,7 +185,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         path_cache_entries=4096 if args.path_cache else 0,
         flow_mode=flow_mode, parallel=args.parallel,
         fm_shards=args.fm_shards, fm_batch_interval_s=args.fm_batch,
-        fm_incremental=args.fm_incremental, fm_ops=args.fm_ops)
+        fm_incremental=args.fm_incremental, fm_ops=args.fm_ops,
+        policy=args.policy, churn=args.churn)
     report = run_campaign(config, log=print if not args.quiet else None)
     print(format_table(
         ["seed", "k", "steps", "checked", "violations", "verdict"],
@@ -261,6 +262,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="incremental override recomputation on view changes")
     p.add_argument("--fm-ops", action="store_true",
                    help="add fm-restart/fm-partition steps to the op mix")
+    p.add_argument("--policy", action="store_true",
+                   help="add acl-install/acl-revoke steps and check the "
+                        "policy invariants (justified drops, no acl-leak)")
+    p.add_argument("--churn", action="store_true",
+                   help="run a background ARP storm and weight the op mix "
+                        "toward VM migrations (host-churn stress)")
     p.add_argument("--parallel", type=int, default=1, metavar="N",
                    help="shard scenarios over N worker processes "
                         "(results identical to sequential)")

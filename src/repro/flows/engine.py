@@ -161,8 +161,13 @@ class FlowEngine:
         #: Directed links fluid flows currently cross: id(port) -> (link,
         #: tx port). The epoch tick samples frame load on exactly these.
         self._fluid_dirs: dict[int, tuple["Link", "Port"]] = {}
-        #: Frame tx-byte watermark per direction at the last epoch tick.
-        self._frame_seen: dict[int, int] = {}
+        #: Per-direction epoch accumulator: (frame tx-byte watermark,
+        #: timestamp) at the last sample. Seeded when a direction joins
+        #: the fluid set, so each direction meters only its own bytes
+        #: over its own elapsed window — directions that join mid-epoch
+        #: (or rejoin after retirement) never inherit another epoch's
+        #: span or a stale watermark.
+        self._frame_seen: dict[int, tuple[int, float]] = {}
         #: Frame-load EWMA per direction (gross bits/s).
         self._frame_ewma: dict[int, float] = {}
         self._epoch_timer = Timer(self.sim, self._epoch_tick,
@@ -554,8 +559,8 @@ class FlowEngine:
                 dead.add(i)
             else:
                 alive_flows.add(i)
-        rates = max_min_allocate(demands, segs_of, remaining,
-                                 active=alive_flows)
+        rates = self._allocate_by_class(routed, demands, segs_of, remaining,
+                                        alive_flows)
         loads: dict[int, float] = {}
         for i, flow in enumerate(routed):
             if i in dead:
@@ -582,6 +587,33 @@ class FlowEngine:
         if self.hybrid:
             self._sync_hybrid_dirs(dir_map, loads)
 
+    def _allocate_by_class(self, routed: list[Flow], demands: list[float],
+                           segs_of: list[list[int]],
+                           remaining: dict[int, float],
+                           alive_flows: set[int]) -> list[float]:
+        """Strict-priority water-filling: fill each traffic class in
+        descending order, each against the capacity the classes above it
+        left behind (``remaining`` is mutated in place between rounds) —
+        the fluid analogue of the frame path's strict-priority egress
+        queues. With a single class present (the default: everything is
+        class 0), this is exactly one max-min allocation, bit-identical
+        to the pre-policy engine."""
+        classes = {flow.tclass for flow in routed}
+        if len(classes) <= 1:
+            return max_min_allocate(demands, segs_of, remaining,
+                                    active=alive_flows)
+        rates = [0.0] * len(routed)
+        for tclass in sorted(classes, reverse=True):
+            active = {i for i in alive_flows
+                      if routed[i].tclass == tclass}
+            if not active:
+                continue
+            class_rates = max_min_allocate(demands, segs_of, remaining,
+                                           active=active)
+            for i in active:
+                rates[i] = class_rates[i]
+        return rates
+
     def _set_rate(self, flow: Flow, rate_bps: float) -> None:
         if flow.rate_bps != rate_bps:
             flow.rate_bps = rate_bps
@@ -600,8 +632,11 @@ class FlowEngine:
                 link.set_frame_load(port, 0.0)
                 self._frame_seen.pop(pid, None)
                 self._frame_ewma.pop(pid, None)
+        now = self.sim.now
         for pid, (link, port) in dir_map.items():
             link.set_fluid_load(port, loads.get(pid, 0.0))
+            if pid not in self._frame_seen:
+                self._frame_seen[pid] = (link.frame_tx_bytes(port), now)
         self._fluid_dirs = dir_map
 
     def _epoch_tick(self) -> None:
@@ -611,13 +646,19 @@ class FlowEngine:
         direction's estimate moved materially — so a steady frame mix
         costs one cheap sampling pass per epoch, not a refill."""
         self.epoch_ticks += 1
+        now = self.sim.now
         changed = False
         for pid, (link, port) in self._fluid_dirs.items():
             frame_bytes = link.frame_tx_bytes(port)
             prev = self._frame_seen.get(pid)
-            self._frame_seen[pid] = frame_bytes
-            inst = (0.0 if prev is None
-                    else (frame_bytes - prev) * 8.0 / self.epoch_s)
+            self._frame_seen[pid] = (frame_bytes, now)
+            if prev is None:
+                inst = 0.0
+            else:
+                prev_bytes, prev_t = prev
+                elapsed = now - prev_t
+                inst = ((frame_bytes - prev_bytes) * 8.0 / elapsed
+                        if elapsed > 0.0 else 0.0)
             old = self._frame_ewma.get(pid, 0.0)
             new = 0.5 * old + 0.5 * inst
             if new < 1.0:

@@ -20,6 +20,7 @@ from repro.net.ipv4 import IPPROTO_UDP, IPv4Packet
 from repro.net.link import PER_FRAME_OVERHEAD_BYTES
 from repro.net.packet import AppData
 from repro.net.udp import UdpDatagram
+from repro.policy import class_of_dscp
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.addresses import IPv4Address, MacAddress
@@ -162,6 +163,7 @@ class Flow:
         sport: int = 20000,
         dport: int = 20000,
         payload_bytes: int = 1000,
+        dscp: int = 0,
         name: str | None = None,
         on_complete: Callable[["Flow"], None] | None = None,
     ) -> None:
@@ -178,6 +180,11 @@ class Flow:
         self.sport = sport
         self.dport = dport
         self.payload_bytes = payload_bytes
+        self.dscp = dscp
+        #: Serving class (from DSCP): the engine water-fills higher
+        #: classes first, mirroring the frame path's strict-priority
+        #: egress queues.
+        self.tclass = class_of_dscp(dscp)
         self.name = name or f"{src.name}->{dst_ip}:{dport}"
         self.on_complete = on_complete
 
@@ -221,9 +228,11 @@ class Flow:
         if self._frame is None or self._frame_macs != macs:
             packet = IPv4Packet(self.src.ip, self.dst_ip, IPPROTO_UDP,
                                 UdpDatagram(self.sport, self.dport,
-                                            AppData(self.payload_bytes)))
+                                            AppData(self.payload_bytes)),
+                                dscp=self.dscp)
             self._frame = EthernetFrame(dst_pmac, src_pmac,
-                                        ETHERTYPE_IPV4, packet)
+                                        ETHERTYPE_IPV4, packet,
+                                        tclass=self.tclass)
             self._frame_macs = macs
             self._frame_wire = self._frame.wire_length()
             self._frame_gross = self._frame_wire + PER_FRAME_OVERHEAD_BYTES

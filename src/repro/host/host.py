@@ -27,6 +27,7 @@ from repro.net.link import Port
 from repro.net.node import Node
 from repro.net.packet import Packet, coerce
 from repro.net.udp import UdpDatagram
+from repro.policy import class_of_dscp
 from repro.sim.process import Timer
 from repro.sim.simulator import Simulator
 
@@ -93,8 +94,9 @@ class Host(Node):
         return False
 
     def _send_frame(self, dst: MacAddress, ethertype: int,
-                    payload: Packet | bytes) -> None:
-        self.nic.send(EthernetFrame(dst, self.mac, ethertype, payload))
+                    payload: Packet | bytes, tclass: int = 0) -> None:
+        self.nic.send(EthernetFrame(dst, self.mac, ethertype, payload,
+                                    tclass=tclass))
 
     # ------------------------------------------------------------------
     # ARP
@@ -118,7 +120,8 @@ class Host(Node):
         self._arp_attempts.pop(ip, None)
         if waiting:
             for packet in waiting:
-                self._send_frame(mac, ETHERTYPE_IPV4, packet)
+                self._send_frame(mac, ETHERTYPE_IPV4, packet,
+                                 tclass=class_of_dscp(packet.dscp))
 
     def _start_resolution(self, ip: IPv4Address) -> None:
         self._arp_attempts[ip] = 1
@@ -157,23 +160,30 @@ class Host(Node):
     # IPv4
 
     def send_ip(self, dst_ip: IPv4Address, protocol: int,
-                payload: Packet | bytes, ttl: int | None = None) -> None:
+                payload: Packet | bytes, ttl: int | None = None,
+                dscp: int = 0) -> None:
         """Send an IPv4 packet, resolving the destination MAC first.
 
         The fabric is one flat layer-2 domain (PortLand's model), so the
         destination IP is ARPed for directly — there is no default router.
+        ``dscp`` marks the packet's code point; the frame's traffic class
+        (802.1p, what the fabric's priority queues serve) derives from it.
         """
         kwargs = {} if ttl is None else {"ttl": ttl}
-        packet = IPv4Packet(self.ip, dst_ip, protocol, payload, **kwargs)
+        packet = IPv4Packet(self.ip, dst_ip, protocol, payload,
+                            dscp=dscp, **kwargs)
+        tclass = class_of_dscp(dscp)
         if dst_ip.is_limited_broadcast:
-            self._send_frame(BROADCAST_MAC, ETHERTYPE_IPV4, packet)
+            self._send_frame(BROADCAST_MAC, ETHERTYPE_IPV4, packet,
+                             tclass=tclass)
             return
         if dst_ip.is_multicast:
-            self._send_frame(dst_ip.multicast_mac(), ETHERTYPE_IPV4, packet)
+            self._send_frame(dst_ip.multicast_mac(), ETHERTYPE_IPV4, packet,
+                             tclass=tclass)
             return
         mac = self.arp_cache.lookup(dst_ip, self.sim.now)
         if mac is not None:
-            self._send_frame(mac, ETHERTYPE_IPV4, packet)
+            self._send_frame(mac, ETHERTYPE_IPV4, packet, tclass=tclass)
             return
         queue = self._arp_pending.setdefault(dst_ip, [])
         if len(queue) >= ARP_QUEUE_LIMIT:
@@ -213,9 +223,10 @@ class Host(Node):
         """Unbind a UDP port (called by ``UdpSocket.close``)."""
         self._udp_sockets.pop(port, None)
 
-    def send_udp(self, dst_ip: IPv4Address, datagram: UdpDatagram) -> None:
+    def send_udp(self, dst_ip: IPv4Address, datagram: UdpDatagram,
+                 dscp: int = 0) -> None:
         """Used by :class:`UdpSocket`; applications should use the socket."""
-        self.send_ip(dst_ip, IPPROTO_UDP, datagram)
+        self.send_ip(dst_ip, IPPROTO_UDP, datagram, dscp=dscp)
 
     def _deliver_udp(self, packet: IPv4Packet) -> None:
         datagram = coerce(packet.payload, UdpDatagram)

@@ -33,12 +33,18 @@ class UdpSocket:
         #: Datagrams delivered while no handler was set (useful in tests).
         self.inbox: list[tuple[IPv4Address, int, "Packet | bytes", float]] = []
 
-    def sendto(self, dst_ip: IPv4Address, dst_port: int, payload: Packet | bytes) -> None:
-        """Send one datagram; triggers ARP resolution when needed."""
+    def sendto(self, dst_ip: IPv4Address, dst_port: int,
+               payload: Packet | bytes, dscp: int = 0) -> None:
+        """Send one datagram; triggers ARP resolution when needed.
+
+        ``dscp`` marks the IP packet's code point (e.g. ``DSCP_EF`` for
+        latency-sensitive mice) — the fabric's priority queues serve the
+        derived traffic class ahead of bulk traffic.
+        """
         if self.closed:
             raise HostError(f"sendto on closed socket {self._host.name}:{self.port}")
         datagram = UdpDatagram(self.port, dst_port, payload)
-        self._host.send_udp(dst_ip, datagram)
+        self._host.send_udp(dst_ip, datagram, dscp=dscp)
 
     def close(self) -> None:
         """Release the port binding."""

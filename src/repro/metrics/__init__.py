@@ -17,6 +17,15 @@ __all__ = [
     "measure_outages",
 ]
 
-from repro.metrics.utilization import LinkUsage, by_layer, imbalance, snapshot, usage_since
+from repro.metrics.utilization import (
+    LinkUsage,
+    by_layer,
+    class_drop_totals,
+    class_totals,
+    imbalance,
+    snapshot,
+    usage_since,
+)
 
-__all__ += ["LinkUsage", "by_layer", "imbalance", "snapshot", "usage_since"]
+__all__ += ["LinkUsage", "by_layer", "class_drop_totals", "class_totals",
+            "imbalance", "snapshot", "usage_since"]

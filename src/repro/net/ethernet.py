@@ -39,8 +39,8 @@ ETHERNET_MTU = 1500
 class EthernetFrame(Packet):
     """An Ethernet II frame, optionally 802.1Q-tagged."""
 
-    __slots__ = ("dst", "src", "ethertype", "payload", "vlan", "_fwd_memo",
-                 "_wire_len")
+    __slots__ = ("dst", "src", "ethertype", "payload", "vlan", "tclass",
+                 "_fwd_memo", "_wire_len")
 
     def __init__(
         self,
@@ -49,6 +49,7 @@ class EthernetFrame(Packet):
         ethertype: int,
         payload: Packet | bytes | None,
         vlan: int | None = None,
+        tclass: int = 0,
     ) -> None:
         if not 0 <= ethertype <= 0xFFFF:
             raise CodecError(f"ethertype out of range: {ethertype:#x}")
@@ -59,6 +60,13 @@ class EthernetFrame(Packet):
         self.ethertype = ethertype
         self.payload = payload
         self.vlan = vlan
+        # Serving class at strict-priority egress queues (0 = best
+        # effort, the only value classic workloads ever produce).
+        # Derived from the IPv4 DSCP at the sending host
+        # (repro.policy.classes.class_of_dscp) so links never parse IP
+        # headers; not on the wire (it models an 802.1p PCP field the
+        # byte-accurate codec rounds to zero cost).
+        self.tclass = tclass
         # Memoised (src value, decision key) managed by
         # repro.switching.flow_table; a pure function of the headers and
         # the (immutable-once-sent) payload, revalidated against

@@ -105,12 +105,24 @@ class Port:
 class _Direction:
     """Transmitter state for one direction of a link."""
 
-    __slots__ = ("queue", "queued_bytes", "transmitting")
+    __slots__ = ("queue", "queued_bytes", "transmitting", "class_queues")
 
     def __init__(self) -> None:
         self.queue: deque[EthernetFrame] = deque()
         self.queued_bytes = 0
         self.transmitting = False
+        # Strict-priority queues for tclass > 0 frames, created lazily by
+        # the first classed frame that has to wait behind a busy
+        # transmitter. None on every direction that only ever carries
+        # best-effort traffic, so the classic dequeue path — and the
+        # golden trace — is untouched by the queues existing at all.
+        self.class_queues: dict[int, deque[EthernetFrame]] | None = None
+
+    def clear(self) -> None:
+        self.queue.clear()
+        self.queued_bytes = 0
+        self.transmitting = False
+        self.class_queues = None
 
 
 class Link:
@@ -127,6 +139,7 @@ class Link:
         carrier_detect: bool = True,
         name: str | None = None,
         loss_rate: float = 0.0,
+        priority_queues: bool = True,
     ) -> None:
         if a.link is not None or b.link is not None:
             raise LinkError(f"port already wired: {a if a.link else b}")
@@ -172,6 +185,16 @@ class Link:
         #: Cumulative fluid-charged tx bytes per transmit direction —
         #: lets the epoch tick separate frame bytes out of tx_bytes.
         self._fluid_tx_bytes: dict[int, int] = {}
+        #: Serve tclass > 0 frames from strict-priority egress queues.
+        #: False degrades every direction to a single FIFO — the
+        #: comparison arm `make bench-policy` measures against.
+        self.priority_queues = priority_queues
+        # Per-class accounting, keyed id(src_port) → {tclass: count}.
+        # Only classed (tclass > 0) traffic creates entries; class 0 is
+        # the port counter totals minus these, so default workloads keep
+        # both dicts empty (golden-trace identical).
+        self._class_tx_bytes: dict[int, dict[int, int]] = {}
+        self._class_drops: dict[int, dict[int, int]] = {}
         a.link = self
         b.link = self
         if carrier_detect:
@@ -261,6 +284,17 @@ class Link:
         else:
             self._frame_bps.pop(id(src_port), None)
 
+    def class_tx_bytes(self, src_port: Port) -> dict[int, int]:
+        """Wire bytes transmitted per traffic class on the ``src_port``
+        direction. Classed (tclass > 0) traffic only; class 0 is
+        ``counters.tx_bytes`` minus the sum of these."""
+        return dict(self._class_tx_bytes.get(id(src_port), ()))
+
+    def class_drops(self, src_port: Port) -> dict[int, int]:
+        """Queue-full drops per traffic class on the ``src_port``
+        direction (classed traffic only)."""
+        return dict(self._class_drops.get(id(src_port), ()))
+
     def frame_tx_bytes(self, src_port: Port) -> int:
         """Transmit bytes the *frame* path put on the ``src_port``
         direction: the port counter minus fluid-charged bytes."""
@@ -297,12 +331,21 @@ class Link:
             size = frame.wire_length()
             if direction.queued_bytes + size > self.queue_bytes:
                 src_port.counters.drops += 1
+                if frame.tclass:
+                    per = self._class_drops.setdefault(id(src_port), {})
+                    per[frame.tclass] = per.get(frame.tclass, 0) + 1
                 self.sim.trace.emit(
                     self.sim.now, "link.drop", self.name,
                     port=src_port.name, reason="queue_full", frame=repr(frame),
                 )
                 return False
-            direction.queue.append(frame)
+            if frame.tclass and self.priority_queues:
+                queues = direction.class_queues
+                if queues is None:
+                    queues = direction.class_queues = {}
+                queues.setdefault(frame.tclass, deque()).append(frame)
+            else:
+                direction.queue.append(frame)
             direction.queued_bytes += size
             return True
         self._start_transmission(src_port, direction, frame)
@@ -314,6 +357,9 @@ class Link:
         duration = self.serialization_time(frame, src_port)
         src_port.counters.tx_frames += 1
         src_port.counters.tx_bytes += frame.wire_length()
+        if frame.tclass:
+            per = self._class_tx_bytes.setdefault(id(src_port), {})
+            per[frame.tclass] = per.get(frame.tclass, 0) + frame.wire_length()
         self.sim.schedule(duration, self._transmission_done, src_port, direction)
         self.sim.schedule(duration + self.delay_s, self._deliver, src_port, frame)
 
@@ -321,8 +367,29 @@ class Link:
         if self.failed:
             # fail() already flushed the queue and cleared the flag.
             return
-        if direction.queue:
+        frame = None
+        queues = direction.class_queues
+        if queues:
+            # Strict priority: the highest waiting class transmits next,
+            # always ahead of anything in the best-effort FIFO.
+            for tclass in sorted(queues, reverse=True):
+                pending = queues[tclass]
+                if pending:
+                    frame = pending.popleft()
+                    if not pending:
+                        del queues[tclass]
+                    break
+        if frame is None and direction.queue:
             frame = direction.queue.popleft()
+            if queues:
+                # Unreachable by construction (classed queues drained
+                # above); a live tripwire the invariant oracle watches so
+                # any future dequeue reordering surfaces as a violation.
+                self.sim.trace.emit(
+                    self.sim.now, "verify.class_inversion", self.name,
+                    port=src_port.name,
+                    waiting=sorted(queues))  # pragma: no cover
+        if frame is not None:
             direction.queued_bytes -= frame.wire_length()
             self._start_transmission(src_port, direction, frame)
         else:
@@ -352,9 +419,7 @@ class Link:
             return
         self.failed = True
         for direction in self._dirs.values():
-            direction.queue.clear()
-            direction.queued_bytes = 0
-            direction.transmitting = False
+            direction.clear()
         self.sim.trace.emit(self.sim.now, "link.fail", self.name)
         self._notify_state()
         if self.carrier_detect:
@@ -372,10 +437,7 @@ class Link:
         if src_port not in (self.a, self.b):
             raise LinkError(f"{src_port} is not an endpoint of {self.name}")
         self._failed_tx.add(id(src_port))
-        direction = self._dirs[id(src_port)]
-        direction.queue.clear()
-        direction.queued_bytes = 0
-        direction.transmitting = False
+        self._dirs[id(src_port)].clear()
         self.sim.trace.emit(self.sim.now, "link.fail_direction", self.name,
                             from_port=src_port.name)
         self._notify_state()

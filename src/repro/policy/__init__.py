@@ -1,0 +1,37 @@
+"""QoS and access-control policy for the PortLand fabric.
+
+Two orthogonal pieces (see ``docs/POLICY.md``):
+
+* **Traffic classes** — a DSCP-derived per-frame class
+  (:func:`~repro.policy.classes.class_of_dscp`) served by
+  strict-priority egress queues at every :class:`repro.net.link.Link`
+  direction, and honoured by the fluid engine's per-class
+  water-filling in hybrid/flow mode.
+* **Edge ACLs** — (src IP, dst IP) drop pairs held in a
+  :class:`~repro.policy.table.PolicyTable` on the fabric manager and
+  installed as priority-above-route ``Drop`` entries at the source
+  host's edge switch. The verification oracle treats drops between
+  ACL'd endpoints as *justified* and any delivery across an installed
+  ACL as an ``acl-leak`` violation.
+"""
+
+from repro.policy.classes import (
+    CLASS_BULK,
+    CLASS_PRIORITY,
+    DSCP_CS0,
+    DSCP_EF,
+    NUM_CLASSES,
+    class_of_dscp,
+)
+from repro.policy.table import PolicyRule, PolicyTable
+
+__all__ = [
+    "CLASS_BULK",
+    "CLASS_PRIORITY",
+    "DSCP_CS0",
+    "DSCP_EF",
+    "NUM_CLASSES",
+    "class_of_dscp",
+    "PolicyRule",
+    "PolicyTable",
+]

@@ -1,0 +1,35 @@
+"""Traffic classes: the DSCP → queue-class mapping.
+
+The model follows the VL2/DiffServ convention with two serving classes:
+*bulk* (best effort, class 0) and *priority* (latency-sensitive,
+class 1). The class is derived from the IPv4 DSCP field at the sending
+host and stamped on the Ethernet frame (``EthernetFrame.tclass``) so
+links and switches never have to parse IP headers on the fast path.
+
+Class 0 is the universal default: a fabric that never sends a non-zero
+DSCP behaves — event for event, byte for byte — exactly as it did
+before classes existed (the golden-trace tests pin this).
+"""
+
+from __future__ import annotations
+
+#: Best-effort / bulk traffic (elephants, background transfers).
+CLASS_BULK = 0
+#: Latency-sensitive traffic (mice, control RPCs).
+CLASS_PRIORITY = 1
+#: Number of serving classes at a strict-priority port.
+NUM_CLASSES = 2
+
+#: Default per-hop behaviour (best effort).
+DSCP_CS0 = 0
+#: Expedited forwarding — the conventional low-latency code point.
+DSCP_EF = 46
+
+#: DSCP values at or above this threshold map to the priority class
+#: (CS4 and up: AF4x, CS5, EF, CS6/7 network control).
+_PRIORITY_DSCP_FLOOR = 32
+
+
+def class_of_dscp(dscp: int) -> int:
+    """The serving class for a DSCP code point."""
+    return CLASS_PRIORITY if dscp >= _PRIORITY_DSCP_FLOOR else CLASS_BULK

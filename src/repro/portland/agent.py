@@ -50,6 +50,8 @@ from repro.portland.messages import (
     OverrideReport,
     PodReply,
     PodRequest,
+    PolicyInstall,
+    PolicyRevoke,
     RegisterHost,
     SwitchLevel,
     decode_fabric,
@@ -259,6 +261,18 @@ class PortlandAgent(SwitchAgent):
             self.switch.flush_decisions("link-enable")
         elif isinstance(message, BroadcastRelay):
             self._emit_relayed_broadcast(message)
+        elif isinstance(message, PolicyInstall):
+            self._install(fwd.acl_drop(message.port, message.dst_pmac,
+                                       str(message.src_ip),
+                                       str(message.dst_ip)))
+            # The table listener flushed, but a re-push that reproduces
+            # the installed entry byte-identically must still retire any
+            # cached verdict predating the ACL.
+            self.switch.flush_decisions("acl-install")
+        elif isinstance(message, PolicyRevoke):
+            self.switch.table.remove_by_name(
+                f"acl:{message.src_ip}->{message.dst_ip}")
+            self.switch.flush_decisions("acl-revoke")
 
     # ------------------------------------------------------------------
     # LDP listener callbacks

@@ -54,11 +54,14 @@ from repro.portland.messages import (
     OverrideReport,
     PodReply,
     PodRequest,
+    PolicyInstall,
+    PolicyRevoke,
     RegisterHost,
     SwitchLevel,
     decode_fabric,
 )
 from repro.portland.multicast import MulticastManager
+from repro.policy import PolicyRule, PolicyTable
 from repro.portland.topology_view import FabricView, SwitchRecord
 from repro.sim.process import Timer
 from repro.sim.simulator import Simulator
@@ -101,6 +104,11 @@ class FabricManager(Node):
 
         self.multicast = MulticastManager(self._mcast_install,
                                           self._mcast_remove)
+
+        #: ACL policy (operator intent, NOT soft state: it survives
+        #: :meth:`restart` and is re-materialised at the edges as hosts
+        #: re-register through the soft-state refresh).
+        self.policy = PolicyTable()
 
         # Single-server processing queue. Items are (frame-or-message,
         # in_port): cluster-internal messages enqueue without a frame but
@@ -345,12 +353,80 @@ class FabricManager(Node):
                 self.send_to_switch(switch_id, relay)
 
     # ------------------------------------------------------------------
+    # ACL policy
+
+    def install_acl(self, src_ip, dst_ip) -> PolicyRule:
+        """Block ``src_ip`` → ``dst_ip``: record the rule and materialise
+        it at the source's edge switch (if both endpoints are known —
+        otherwise the push happens when the missing endpoint registers).
+        Idempotent."""
+        rule = self.policy.add(src_ip, dst_ip)
+        self.sim.trace.emit(self.sim.now, "fm.acl_install", self.name,
+                            src=rule.src_ip, dst=rule.dst_ip)
+        self._push_acl(rule)
+        return rule
+
+    def revoke_acl(self, src_ip, dst_ip) -> None:
+        """Unblock the pair and remove its edge entry. Idempotent."""
+        rule = self.policy.remove(src_ip, dst_ip)
+        if rule is None:
+            return
+        self.sim.trace.emit(self.sim.now, "fm.acl_revoke", self.name,
+                            src=rule.src_ip, dst=rule.dst_ip)
+        src = self._policy_record(IPv4Address.parse(rule.src_ip))
+        if src is not None:
+            self.send_to_switch(src.edge_id, PolicyRevoke(
+                IPv4Address.parse(rule.src_ip),
+                IPv4Address.parse(rule.dst_ip)))
+
+    def _policy_record(self, ip: IPv4Address) -> FmHostRecord | None:
+        """Registry lookup for policy resolution (the sharded
+        coordinator overrides this to consult the merged registry)."""
+        return self.hosts_by_ip.get(ip)
+
+    def _push_acl(self, rule: PolicyRule) -> None:
+        src = self._policy_record(IPv4Address.parse(rule.src_ip))
+        dst = self._policy_record(IPv4Address.parse(rule.dst_ip))
+        if src is None or dst is None:
+            return
+        self.send_to_switch(src.edge_id, PolicyInstall(
+            src.ip, dst.ip, dst.pmac, src.port))
+
+    def _repush_policies(self, reg: RegisterHost,
+                         existing: FmHostRecord | None) -> None:
+        """Re-materialise every rule touching a (re-)registered host.
+
+        Covers three distinct events with one hook: fresh registration
+        (first chance to push a rule installed before the host was
+        known), the soft-state refresh after an FM restart (the policy
+        table survives, the push rides the re-registration), and VM
+        migration (the source's entry moves edges; the destination's
+        PMAC change rewrites the entry in place at the source's edge).
+        """
+        rules = self.policy.involving(reg.ip)
+        if not rules:
+            return
+        if existing is not None and existing.edge_id != reg.edge_id:
+            # The source moved: retract the stale (in_port, dst_pmac)
+            # entry at the old edge before a future tenant of that port
+            # can inherit it.
+            for rule in rules:
+                if rule.src_ip == str(reg.ip):
+                    self.send_to_switch(existing.edge_id, PolicyRevoke(
+                        IPv4Address.parse(rule.src_ip),
+                        IPv4Address.parse(rule.dst_ip)))
+        for rule in rules:
+            self._push_acl(rule)
+
+    # ------------------------------------------------------------------
     # Host registry / migration
 
     def _on_register_host(self, reg: RegisterHost) -> None:
         existing = self.hosts_by_ip.get(reg.ip)
         record = FmHostRecord(reg.ip, reg.amac, reg.pmac, reg.edge_id, reg.port)
         self.hosts_by_ip[reg.ip] = record
+        if self.policy:
+            self._repush_policies(reg, existing)
         if existing is None:
             return
         moved = (existing.edge_id != reg.edge_id

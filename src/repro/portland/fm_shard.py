@@ -235,6 +235,17 @@ class FmShard(FabricManager):
         # have no record: genuine miss.
         self._arp_miss(query)
 
+    # -- registration -------------------------------------------------
+
+    def _on_register_host(self, reg: RegisterHost) -> None:
+        # ACL rules live at the coordinator, not on this shard, so the
+        # base class's policy hook never fires here — notify the cluster
+        # instead so the coordinator can re-materialise any rule that
+        # touches the (re-)registered host.
+        existing = self.hosts_by_ip.get(reg.ip)
+        super()._on_register_host(reg)
+        self.cluster.repush_policies(reg, existing)
+
     # -- restart ------------------------------------------------------
 
     def restart(self) -> None:
@@ -256,6 +267,11 @@ class FmCoordinator(FabricManager):
 
     def send_to_switch(self, switch_id: int, message: FmMessage) -> None:
         self.cluster.relay(self, switch_id, message)
+
+    def _policy_record(self, ip: IPv4Address):
+        # Host records live on the shards; the coordinator resolves
+        # policy endpoints against the registry's owner shard.
+        return self.cluster.owner_shard(ip).hosts_by_ip.get(ip)
 
     def _dispatch(self, message) -> None:
         if isinstance(message, _ResyncRequest):
@@ -385,6 +401,29 @@ class FmShardCluster:
         for shard in self.shards:
             merged.update(shard.hosts_by_ip)
         return merged
+
+    @property
+    def policy(self):
+        """Edge-ACL policy — centralized at the coordinator (operator
+        intent, like pod assignment), surviving cluster restarts."""
+        return self.coordinator.policy
+
+    def install_acl(self, src_ip, dst_ip):
+        """Block a pair; the coordinator's push relays through the
+        source edge's home shard like any switch-bound message."""
+        return self.coordinator.install_acl(src_ip, dst_ip)
+
+    def revoke_acl(self, src_ip, dst_ip) -> None:
+        self.coordinator.revoke_acl(src_ip, dst_ip)
+
+    def repush_policies(self, reg: RegisterHost,
+                        existing: FmHostRecord | None) -> None:
+        """A shard (re-)registered a host: re-materialise any rules
+        touching it from the coordinator's table (covers registration
+        before the rule's other endpoint was known, re-registration
+        after restarts, and VM migration edge moves)."""
+        if self.coordinator.policy:
+            self.coordinator._repush_policies(reg, existing)
 
     @property
     def switches(self):

@@ -17,6 +17,7 @@ from repro.net.ethernet import ETHERTYPE_ARP
 from repro.net.ipv4 import IPPROTO_IGMP
 from repro.portland.pmac import pod_prefix, position_prefix
 from repro.switching.flow_table import (
+    Drop,
     Match,
     Output,
     OutputMany,
@@ -29,6 +30,7 @@ from repro.switching.flow_table import (
 
 # Forwarding-table priorities, highest first.
 PRIO_ARP = 500
+PRIO_ACL = 460
 PRIO_IGMP = 450
 PRIO_HOST = 400
 PRIO_DOWN = 400
@@ -71,7 +73,7 @@ def entry_direction(name: str) -> str:
         return "down"
     if name.startswith("host:"):
         return "deliver"
-    if name in ("own-prefix-drop", "own-pod-drop"):
+    if name in ("own-prefix-drop", "own-pod-drop") or name.startswith("acl:"):
         return "drop"
     return "control"
 
@@ -171,3 +173,19 @@ def migration_trap(old_pmac: MacAddress) -> tuple[Match, tuple, int, str]:
     """Old edge after migration: trap frames for the stale PMAC."""
     return (Match(eth_dst=old_pmac), (ToAgent("migrated"),), PRIO_TRAP,
             f"trap:{old_pmac}")
+
+
+def acl_drop(in_port: int, dst_pmac: MacAddress, src_ip: str,
+             dst_ip: str) -> tuple[Match, tuple, int, str]:
+    """Edge ACL: drop the blocked pair's traffic at the source's edge.
+
+    Matched on (source host's ingress port, destination PMAC) — the
+    exact shape a frame from the blocked source has after ingress
+    rewrite, and one the symbolic table walker reproduces verbatim.
+    The ``in_port`` component makes the entry non-key-only, which
+    automatically disables the decision cache and compiled-path cache
+    at this switch (``FlowTable.cache_safe``), so no cached verdict can
+    ever bypass the ACL.
+    """
+    return (Match(in_port=in_port, eth_dst=dst_pmac), (Drop("acl"),),
+            PRIO_ACL, f"acl:{src_ip}->{dst_ip}")

@@ -174,6 +174,8 @@ class FmType(enum.IntEnum):
     ENABLE_LINK = 19
     BROADCAST_RELAY = 20
     OVERRIDE_REPORT = 21
+    POLICY_INSTALL = 22
+    POLICY_REVOKE = 23
 
 
 class FmMessage(Packet):
@@ -666,6 +668,54 @@ class OverrideReport(FmMessage):
         return cls(switch_id, prefixes)
 
 
+@dataclass(frozen=True)
+class PolicyInstall(FmMessage):
+    """FM → edge: materialise one ACL (drop ``src_ip`` → ``dst_ip``).
+
+    Sent to the *source* host's edge switch; carries the host's ingress
+    port and the destination's current PMAC, so the agent can install
+    the exact (in_port, eth_dst) drop entry
+    (:func:`repro.portland.forwarding.acl_drop`). Re-sent whenever
+    either endpoint (re-)registers — migration moves the entry, and a
+    soft-state refresh after an FM restart restores it.
+    """
+
+    TYPE = FmType.POLICY_INSTALL
+    src_ip: IPv4Address
+    dst_ip: IPv4Address
+    dst_pmac: MacAddress
+    port: int
+
+    def encode(self) -> bytes:
+        return (struct.pack("!B", self.TYPE) + self.src_ip.to_bytes()
+                + self.dst_ip.to_bytes() + self.dst_pmac.to_bytes()
+                + struct.pack("!B", self.port))
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "PolicyInstall":
+        return cls(IPv4Address.from_bytes(data[0:4]),
+                   IPv4Address.from_bytes(data[4:8]),
+                   MacAddress.from_bytes(data[8:14]), data[14])
+
+
+@dataclass(frozen=True)
+class PolicyRevoke(FmMessage):
+    """FM → edge: remove the ACL entry for the (src, dst) pair."""
+
+    TYPE = FmType.POLICY_REVOKE
+    src_ip: IPv4Address
+    dst_ip: IPv4Address
+
+    def encode(self) -> bytes:
+        return (struct.pack("!B", self.TYPE) + self.src_ip.to_bytes()
+                + self.dst_ip.to_bytes())
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "PolicyRevoke":
+        return cls(IPv4Address.from_bytes(data[0:4]),
+                   IPv4Address.from_bytes(data[4:8]))
+
+
 _FM_CLASSES: dict[int, type[FmMessage]] = {
     int(cls.TYPE): cls
     for cls in (
@@ -673,7 +723,7 @@ _FM_CLASSES: dict[int, type[FmMessage]] = {
         NeighborReport, LinkFail, LinkRecover, FaultUpdate, FaultClear,
         McastInstall, McastRemove, IgmpRelay, McastMiss, Invalidate,
         GratuitousArp, DisableLink, EnableLink, BroadcastRelay,
-        OverrideReport,
+        OverrideReport, PolicyInstall, PolicyRevoke,
     )
 }
 

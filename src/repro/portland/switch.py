@@ -102,10 +102,14 @@ class PortlandSwitch(FlowSwitch):
             current = self._apply_rewrites(current, rewrite.actions)
 
         path_cache = self.path_cache
-        if path_cache is not None:
-            # Compiled cut-through transit: only for frames entering the
-            # fabric from an attached host (switch-to-switch arrivals are
-            # mid-path hops of interpreted frames).
+        if path_cache is not None and current.tclass == 0:
+            # Compiled cut-through transit: only for class-0 frames
+            # entering the fabric from an attached host (switch-to-switch
+            # arrivals are mid-path hops of interpreted frames).
+            # Prioritized traffic always takes the interpreted path so it
+            # meets the real per-port egress queues — cut-through transit
+            # never queues, which would erase exactly the head-of-line
+            # effect the priority classes exist to control.
             peer = in_port.peer
             if peer is not None and not isinstance(peer.node, FlowSwitch):
                 path = path_cache.resolve(self, current, in_port.index)

@@ -139,7 +139,21 @@ class ToAgent:
     reason: str = ""
 
 
-Action = Output | OutputMany | SelectByHash | SetEthDst | SetEthSrc | ToAgent
+@dataclass(frozen=True)
+class Drop:
+    """Discard the frame deliberately (ACL/policy drop).
+
+    Unlike an empty action list (a guard/override entry, a *routing*
+    dead-end), a ``Drop`` is explicit operator intent: the switch emits
+    a ``verify.policy_drop`` trace record and the verification oracle
+    treats the discarded frame as *justified*, never a blackhole.
+    """
+
+    reason: str = ""
+
+
+Action = (Output | OutputMany | SelectByHash | SetEthDst | SetEthSrc
+          | ToAgent | Drop)
 
 
 @dataclass

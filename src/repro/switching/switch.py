@@ -15,6 +15,7 @@ from repro.net.link import Port
 from repro.net.node import Node
 from repro.sim.simulator import Simulator
 from repro.switching.flow_table import (
+    Drop,
     FlowTable,
     Output,
     OutputMany,
@@ -118,6 +119,16 @@ class FlowSwitch(Node):
                     self.send_out(chosen, current, in_port)
             elif isinstance(action, ToAgent):
                 self.punt_to_agent(current, in_port, action.reason)
+            elif isinstance(action, Drop):
+                # Deliberate (policy) discard — recorded so campaigns can
+                # prove every ACL drop is justified and nothing else is.
+                self.sim.trace.emit(
+                    self.sim.now, "verify.policy_drop", self.name,
+                    in_port=in_port.index, reason=action.reason,
+                    src=current.src.value, dst=current.dst.value,
+                    ethertype=current.ethertype, payload=current.payload,
+                )
+                return
 
     def select_ecmp(self, frame: EthernetFrame, ports: tuple[int, ...]) -> int | None:
         """Hash-select a port from an ECMP group.

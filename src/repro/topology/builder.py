@@ -31,6 +31,11 @@ class LinkParams:
     carrier_detect: bool = True
     #: Host links usually keep carrier detection (NIC unplug is visible).
     host_carrier_detect: bool = True
+    #: Strict-priority per-class egress queues on every link (see
+    #: docs/POLICY.md). No-op while all traffic is class 0; False
+    #: degrades classed traffic to FIFO service (the bench-policy
+    #: comparison arm).
+    priority_queues: bool = True
 
 
 @dataclass
@@ -237,6 +242,7 @@ def build_portland_fabric(
             delay_s=params.delay_s,
             queue_bytes=params.queue_bytes,
             carrier_detect=params.carrier_detect,
+            priority_queues=params.priority_queues,
         )
         fabric.links[(wire.node_a, wire.node_b)] = link
     for wire in tree.host_wires:
@@ -248,6 +254,7 @@ def build_portland_fabric(
             delay_s=params.delay_s,
             queue_bytes=params.queue_bytes,
             carrier_detect=params.host_carrier_detect,
+            priority_queues=params.priority_queues,
         )
         fabric.links[(wire.node_a, wire.node_b)] = link
     if config.flow_mode:

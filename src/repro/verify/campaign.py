@@ -115,6 +115,20 @@ class CampaignConfig:
     fm_refresh_s: float = 0.5
     #: How long a partitioned shard stays severed before healing.
     fm_partition_s: float = 0.3
+    #: Add edge-ACL steps to the op mix: ``acl-install`` blocks a random
+    #: host pair through the fabric manager (cluster-routed on sharded
+    #: fabrics) and ``acl-revoke`` lifts a previously installed rule.
+    #: The static checks then additionally prove every ACL'd pair's
+    #: drops are justified (never blackholes) and that no frame is ever
+    #: delivered across an installed rule (``acl-leak``).
+    policy: bool = False
+    #: Host-churn stress: run a background ARP storm for the whole
+    #: scenario and weight the op mix toward VM migrations, so the
+    #: registry (and, with ``policy``, the ACL re-push machinery) is
+    #: exercised under continuous re-registration traffic.
+    churn: bool = False
+    #: Aggregate ARP-storm rate while ``churn`` is on (queries/s).
+    churn_rate_pps: float = 200.0
 
 
 @dataclass
@@ -369,7 +383,18 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
         soft_state_refresh_s=config.fm_refresh_s if config.fm_ops else None)
     oracle = InvariantOracle(fabric)
     _start_probes(fabric, rng, config)
+    if config.churn:
+        from repro.workloads.arp_workload import ArpStorm
+
+        ArpStorm(sim, fabric.host_list(),
+                 per_host_rate=config.churn_rate_pps
+                 / max(1, len(fabric.host_list())),
+                 rng=random.Random(scenario_seed ^ 0x5A5A)).start()
     sim.run(until=sim.now + 0.1)
+
+    hosts = fabric.host_list()
+    #: (src, dst) host pairs currently ACL-blocked (policy ops only).
+    acls: list[tuple] = []
 
     candidates = fabric.routing_scheme().fault_candidate_links()
     failed: dict[tuple[str, str], object] = {}
@@ -385,15 +410,23 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
         ops = ["fail", "fail", "fail-switch", "recover"]
         if config.migrate:
             ops.append("migrate")
+            if config.churn:
+                # Churn scenarios: weight the mix toward re-registration
+                # pressure (migrations ride on the background ARP storm).
+                ops.append("migrate")
         if config.fm_ops:
             ops.extend(["fm-restart", "fm-partition"])
         if config.expand and config.backend == "jellyfish":
             ops.append("expand")
+        if config.policy:
+            ops.extend(["acl-install", "acl-install", "acl-revoke"])
         op = rng.choice(ops)
         if op == "recover" and not failed:
             op = "fail"
         if op in ("fail", "fail-switch") and not alive:
             op = "recover"
+        if op == "acl-revoke" and not acls:
+            op = "acl-install"
 
         if op == "fail":
             count = rng.randint(1, min(config.max_links_per_failure, len(alive)))
@@ -466,6 +499,15 @@ def run_scenario(scenario_seed: int, config: CampaignConfig) -> ScenarioResult:
         elif op == "fm-partition":
             settle = max(settle, config.fm_settle_s)
             result.steps.append(_fm_partition(fabric, rng, config))
+        elif op == "acl-install":
+            src, dst = rng.sample(hosts, 2)
+            fabric.fabric_manager.install_acl(src.ip, dst.ip)
+            acls.append((src, dst))
+            result.steps.append(f"acl-install {src.name}->{dst.name}")
+        elif op == "acl-revoke":
+            src, dst = acls.pop(rng.randrange(len(acls)))
+            fabric.fabric_manager.revoke_acl(src.ip, dst.ip)
+            result.steps.append(f"acl-revoke {src.name}->{dst.name}")
 
         sim.run(until=sim.now + settle)
         oracle.check_now()

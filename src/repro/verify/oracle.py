@@ -78,12 +78,19 @@ class InvariantOracle:
         self.misses = 0
         #: Fluid-path resolutions checked (flow-mode fabrics only).
         self.flow_paths = 0
+        #: Deliberate ACL discards observed (each must be justified by
+        #: an installed policy rule — the table walker proves that).
+        self.policy_drops = 0
         self._trajectories: dict[tuple[int, int], _Trajectory] = {}
         self._subscribed = False
         if track_hops:
             self.sim.trace.subscribe("verify.hop", self._on_hop)
             self.sim.trace.subscribe("verify.miss", self._on_miss)
             self.sim.trace.subscribe("verify.flow", self._on_flow)
+            self.sim.trace.subscribe("verify.policy_drop",
+                                     self._on_policy_drop)
+            self.sim.trace.subscribe("verify.class_inversion",
+                                     self._on_class_inversion)
             self._subscribed = True
 
     # ------------------------------------------------------------------
@@ -132,6 +139,20 @@ class InvariantOracle:
         # counted for diagnostics and judged post-hoc by the table
         # walker, which knows whether the destination was reachable.
         self.misses += 1
+
+    def _on_policy_drop(self, record: TraceRecord) -> None:
+        # Counted for campaign accounting; whether each drop is
+        # justified (an installed rule blocks the pair) is the table
+        # walker's call — see repro.verify.walk.
+        self.policy_drops += 1
+
+    def _on_class_inversion(self, record: TraceRecord) -> None:
+        """A strict-priority port dequeued a bulk frame while a higher
+        class was waiting — the per-class latency invariant (mice never
+        queue behind elephant bytes) failed at this link."""
+        self.violations.append(Violation(
+            "class-inversion", record.source, record.time,
+            dict(record.detail)))
 
     def _on_flow(self, record: TraceRecord) -> None:
         """Check one fluid flow's pinned hop list.
@@ -197,6 +218,7 @@ class InvariantOracle:
         self.hops = 0
         self.misses = 0
         self.flow_paths = 0
+        self.policy_drops = 0
 
     def close(self) -> None:
         """Unsubscribe from the trace bus. Idempotent."""
@@ -204,6 +226,10 @@ class InvariantOracle:
             self.sim.trace.unsubscribe("verify.hop", self._on_hop)
             self.sim.trace.unsubscribe("verify.miss", self._on_miss)
             self.sim.trace.unsubscribe("verify.flow", self._on_flow)
+            self.sim.trace.unsubscribe("verify.policy_drop",
+                                       self._on_policy_drop)
+            self.sim.trace.unsubscribe("verify.class_inversion",
+                                       self._on_class_inversion)
             self._subscribed = False
 
     def __enter__(self) -> "InvariantOracle":

@@ -20,6 +20,10 @@ Walk outcomes per path:
 * **misdelivered** — the frame reached a host other than the intended
   one, or reached the right host still carrying its PMAC (the
   identifier leak the locator/identifier-split literature warns about).
+
+For a pair the fabric manager's :class:`~repro.policy.PolicyTable`
+blocks, the polarity flips: every drop is *justified* (never a
+blackhole) and a delivery is the ``acl-leak`` violation.
 """
 
 from __future__ import annotations
@@ -150,6 +154,22 @@ def walk_unicast(fabric, src_host, dst_record, dst_host,
                          "reason": "PMAC leaked past the fabric boundary"}))
                 else:
                     delivered = True
+
+    policy = getattr(fm, "policy", None)
+    if policy is not None and policy.blocks(str(src_host.ip),
+                                            str(dst_host.ip)):
+        # The pair is ACL-blocked: every drop is *justified* — the walk
+        # normally dies on the source edge's ``acl:`` entry — so none of
+        # them is a blackhole. A delivery, though, means some branch
+        # forwarded around the installed drop: the leak the policy
+        # oracle exists to catch. (Callers settle after ACL ops, so the
+        # install has reached the edge by the time the walker runs.)
+        if delivered:
+            violations.append(Violation(
+                "acl-leak", first_switch.name, now,
+                {"src": src_host.name, "dst": dst_host.name,
+                 "src_ip": str(src_host.ip), "dst_ip": str(dst_host.ip)}))
+        return violations
 
     if drops:
         # Whether a drop is a blackhole is the topology scheme's call:

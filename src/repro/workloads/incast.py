@@ -1,0 +1,130 @@
+"""N-to-1 incast: bulk senders converge on one reducer while small
+prioritized mice measure the queueing they cause.
+
+The classic datacenter hot spot (partition/aggregate, MapReduce reduce
+phase): every sender pushes a long TCP bulk ("elephant") transfer at the
+same reducer, saturating the reducer's edge downlink. Latency-sensitive
+mice — single small UDP datagrams marked ``DSCP_EF`` — cross the same
+bottleneck; their one-way latency is the workload's headline metric.
+With the fabric's strict-priority queues on, mice overtake the queued
+elephant bytes at every egress port; with FIFO queues
+(``LinkParams(priority_queues=False)``) each mouse waits behind the full
+backlog, which is exactly the comparison ``make bench-policy`` runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.host.apps.tcp_bulk import TcpBulkSender, TcpSink
+from repro.host.host import Host
+from repro.net.packet import AppData
+from repro.policy import DSCP_EF
+from repro.sim.simulator import Simulator
+from repro.sim.stats import SummaryStats, summarize
+
+
+class IncastWorkload:
+    """N senders → one reducer: elephant TCP bulks plus EF-marked mice.
+
+    Call :meth:`start`, then :meth:`run` (the run window is derived from
+    the mice schedule — elephants are open-ended background load), then
+    read :meth:`mice_stats` / :attr:`mice_lost`.
+
+    Mice are matched to their send timestamps per (sender IP, UDP source
+    port): one socket per sender and one path per 5-tuple keeps each
+    sender's mice in FIFO order end to end.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        senders: list[Host],
+        reducer: Host,
+        mice_count: int = 200,
+        mice_payload_bytes: int = 64,
+        mice_interval_s: float = 0.0005,
+        mice_dscp: int = DSCP_EF,
+        warmup_s: float = 0.05,
+        base_port: int = 41000,
+        mice_port: int = 40900,
+    ) -> None:
+        if not senders:
+            raise ValueError("incast needs at least one sender")
+        self.sim = sim
+        self.senders = list(senders)
+        self.reducer = reducer
+        self.mice_count = mice_count
+        self.mice_payload_bytes = mice_payload_bytes
+        self.mice_interval_s = mice_interval_s
+        self.mice_dscp = mice_dscp
+        self.warmup_s = warmup_s
+        self.base_port = base_port
+        self.mice_port = mice_port
+        #: One-way mouse latencies (seconds), in arrival order.
+        self.mice_latencies: list[float] = []
+        self.mice_sent = 0
+        self.mice_received = 0
+        self._sinks: list[TcpSink] = []
+        self._bulks: list[TcpBulkSender] = []
+        self._mice_sockets: dict[str, object] = {}
+        self._pending: dict[tuple[int, int], deque[float]] = {}
+        self._last_send_at = 0.0
+        self._started = False
+
+    def start(self) -> None:
+        """Open the reducer's sinks, start every elephant, and schedule
+        the mice stream (first mouse after ``warmup_s``, so the ARP and
+        TCP handshakes are out of the measurement window)."""
+        if self._started:
+            raise RuntimeError("incast already started")
+        self._started = True
+        mice_rx = self.reducer.udp_socket(self.mice_port)
+        mice_rx.on_datagram = self._on_mouse
+        for i, sender in enumerate(self.senders):
+            self._sinks.append(TcpSink(self.reducer, self.base_port + i))
+            self._bulks.append(TcpBulkSender(sender, self.reducer.ip,
+                                             self.base_port + i))
+            self._mice_sockets[sender.name] = sender.udp_socket()
+        for seq in range(self.mice_count):
+            sender = self.senders[seq % len(self.senders)]
+            at = self.warmup_s + seq * self.mice_interval_s
+            self.sim.schedule(at, self._send_mouse, sender)
+            self._last_send_at = self.sim.now + at
+
+    def _send_mouse(self, sender: Host) -> None:
+        socket = self._mice_sockets[sender.name]
+        key = (sender.ip.value, socket.port)
+        self._pending.setdefault(key, deque()).append(self.sim.now)
+        self.mice_sent += 1
+        socket.sendto(self.reducer.ip, self.mice_port,
+                      AppData(self.mice_payload_bytes), dscp=self.mice_dscp)
+
+    def _on_mouse(self, src_ip, src_port, _payload, now: float) -> None:
+        queue = self._pending.get((src_ip.value, src_port))
+        if not queue:
+            return
+        self.mice_latencies.append(now - queue.popleft())
+        self.mice_received += 1
+
+    # ------------------------------------------------------------------
+    # Driving and results
+
+    def run(self, grace_s: float = 0.25) -> float:
+        """Run through the whole mice schedule plus ``grace_s`` of
+        settling (any mouse still missing then was tail-dropped)."""
+        self.sim.run(until=self._last_send_at + grace_s)
+        return self.sim.now
+
+    @property
+    def mice_lost(self) -> int:
+        """Mice sent but never delivered (drop-tail casualties)."""
+        return self.mice_sent - self.mice_received
+
+    def mice_stats(self) -> SummaryStats:
+        """Summary of one-way mouse latencies (seconds)."""
+        return summarize(self.mice_latencies)
+
+    def elephant_bytes(self) -> int:
+        """Bulk payload bytes the reducer has absorbed."""
+        return sum(sink.total_bytes for sink in self._sinks)

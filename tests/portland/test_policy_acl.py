@@ -1,0 +1,225 @@
+"""Edge ACLs end to end: install/revoke through the FM, the sharded
+cluster, migrations, and restarts (docs/POLICY.md).
+
+An ACL is fabric-manager soft state (a `PolicyTable` rule) materialised
+as a priority-above-route drop entry at the *source's* edge switch.
+These tests drive the full round trip: rule → PolicyInstall message →
+edge flow-table entry → dropped frames → `verify.policy_drop` trace,
+then revoke → delivery restored — and the re-push paths that keep the
+entry anchored as the endpoints move, re-register, or the FM restarts.
+"""
+
+from repro.net.packet import AppData
+from repro.portland.config import PortlandConfig
+from repro.portland.migration import VmMigration
+from repro.sim import Simulator
+from repro.topology import LinkParams, build_portland_fabric
+from repro.topology.fattree import build_fat_tree
+
+REFRESH = 0.5
+
+
+def converged(sim, shards=0, hosts_per_edge=None, **config_kwargs):
+    config = PortlandConfig(soft_state_refresh_s=REFRESH,
+                            fm_shards=shards, **config_kwargs)
+    # hosts_per_edge=1 leaves port 1 free on every edge switch — the
+    # migration tests need somewhere to move a VM to.
+    tree = build_fat_tree(4, hosts_per_edge=hosts_per_edge)
+    fabric = build_portland_fabric(
+        sim, tree=tree, config=config,
+        link_params=LinkParams(carrier_detect=True))
+    fabric.start()
+    fabric.run_until_located()
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    return fabric
+
+
+_PROBE_PORT = [50000]
+
+
+def probe(sim, src, dst, count=3):
+    """One-way delivery: send ``count`` datagrams src → dst, return how
+    many arrive. One-way on purpose — a unidirectional ACL must not be
+    confused with a lost reply leg."""
+    _PROBE_PORT[0] += 1
+    port = _PROBE_PORT[0]
+    received = []
+    rx = dst.udp_socket(port)
+    rx.on_datagram = lambda *args: received.append(args)
+    tx = src.udp_socket()
+    for _ in range(count):
+        tx.sendto(dst.ip, port, AppData(32))
+        sim.run(until=sim.now + 0.05)
+    return len(received)
+
+
+def acl_entries(fabric, switch_name):
+    agent = fabric.agents[switch_name]
+    return [e for e in agent.switch.table
+            if e.name and e.name.startswith("acl:")]
+
+
+def edge_of(fabric, host):
+    from repro.verify.invariants import agents_by_switch_id
+    record = fabric.fabric_manager.hosts_by_ip[host.ip]
+    return agents_by_switch_id(fabric)[record.edge_id].switch.name
+
+
+def test_install_blocks_one_direction_then_revoke_restores():
+    sim = Simulator(seed=91)
+    fabric = converged(sim)
+    fm = fabric.fabric_manager
+    hosts = fabric.host_list()
+    src, dst, bystander = hosts[0], hosts[-1], hosts[3]
+
+    drops = []
+    sim.trace.subscribe("verify.policy_drop",
+                        lambda record: drops.append(record))
+
+    fm.install_acl(src.ip, dst.ip)
+    sim.run(until=sim.now + 0.1)
+    assert len(acl_entries(fabric, edge_of(fabric, src))) == 1
+
+    assert probe(sim, src, dst) == 0          # blocked direction
+    assert len(drops) >= 1
+    assert drops[0].detail["reason"] == "acl"
+    assert probe(sim, dst, src) == 3          # reverse unaffected
+    assert probe(sim, src, bystander) == 3    # other pairs unaffected
+
+    fm.revoke_acl(src.ip, dst.ip)
+    sim.run(until=sim.now + 0.1)
+    assert acl_entries(fabric, edge_of(fabric, src)) == []
+    assert probe(sim, src, dst) == 3
+    assert len(fm.policy) == 0
+
+
+def test_install_before_registration_lands_on_register():
+    """A rule whose endpoints are not yet registered is held in the
+    policy table and materialised by the registration re-push hook."""
+    sim = Simulator(seed=92)
+    config = PortlandConfig(soft_state_refresh_s=REFRESH)
+    fabric = build_portland_fabric(
+        sim, k=4, config=config,
+        link_params=LinkParams(carrier_detect=True))
+    fabric.start()
+    fabric.run_until_located()
+    hosts = fabric.host_list()
+    src, dst = hosts[0], hosts[-1]
+    fabric.fabric_manager.install_acl(src.ip, dst.ip)  # nobody registered
+    assert acl_entries(fabric, f"edge-p0-s0") == []
+    fabric.announce_hosts()
+    fabric.run_until_registered()
+    sim.run(until=sim.now + 0.1)
+    assert len(acl_entries(fabric, edge_of(fabric, src))) == 1
+    assert probe(sim, src, dst) == 0
+
+
+def test_acl_survives_fm_restart():
+    """The policy table is FM state that outlives a restart; the edge
+    entry is re-pushed when soft-state refresh re-registers the hosts."""
+    sim = Simulator(seed=93)
+    fabric = converged(sim)
+    fm = fabric.fabric_manager
+    hosts = fabric.host_list()
+    src, dst = hosts[0], hosts[-1]
+    fm.install_acl(src.ip, dst.ip)
+    sim.run(until=sim.now + 0.1)
+
+    fm.restart()
+    assert len(fm.policy) == 1
+    sim.run(until=sim.now + 3 * REFRESH)      # refresh re-registers
+    assert len(acl_entries(fabric, edge_of(fabric, src))) == 1
+    assert probe(sim, src, dst) == 0
+
+
+def test_acl_follows_source_migration():
+    """Migrating the *source* moves the entry: retracted at the old
+    edge, re-installed at the new one."""
+    sim = Simulator(seed=94)
+    fabric = converged(sim, hosts_per_edge=1)
+    fm = fabric.fabric_manager
+    hosts = fabric.host_list()
+    src, dst = hosts[0], hosts[-1]
+    fm.install_acl(src.ip, dst.ip)
+    sim.run(until=sim.now + 0.1)
+    old_edge = edge_of(fabric, src)
+
+    VmMigration(fabric, src.name, new_edge="edge-p1-s0", new_port=1,
+                downtime_s=0.1).start()
+    sim.run(until=sim.now + 1.2)
+
+    new_edge = edge_of(fabric, src)
+    assert new_edge != old_edge
+    assert acl_entries(fabric, old_edge) == []
+    assert len(acl_entries(fabric, new_edge)) == 1
+    assert probe(sim, src, dst) == 0
+
+
+def test_acl_tracks_destination_migration():
+    """Migrating the *destination* rewrites the entry in place at the
+    source's edge (the dst PMAC changed)."""
+    sim = Simulator(seed=95)
+    fabric = converged(sim, hosts_per_edge=1)
+    fm = fabric.fabric_manager
+    hosts = fabric.host_list()
+    src, dst = hosts[0], hosts[-1]
+    fm.install_acl(src.ip, dst.ip)
+    sim.run(until=sim.now + 0.1)
+
+    VmMigration(fabric, dst.name, new_edge="edge-p1-s1", new_port=1,
+                downtime_s=0.1).start()
+    sim.run(until=sim.now + 1.2)
+
+    entries = acl_entries(fabric, edge_of(fabric, src))
+    assert len(entries) == 1
+    new_pmac = fm.hosts_by_ip[dst.ip].pmac
+    assert entries[0].match.eth_dst == new_pmac
+    assert probe(sim, src, dst) == 0
+
+
+# ----------------------------------------------------------------------
+# Sharded cluster
+
+
+def test_cluster_install_revoke_round_trip():
+    sim = Simulator(seed=96)
+    fabric = converged(sim, shards=4)
+    cluster = fabric.fabric_manager
+    hosts = fabric.host_list()
+    src, dst = hosts[0], hosts[-1]      # pods 0 and 3: different shards
+
+    cluster.install_acl(src.ip, dst.ip)
+    sim.run(until=sim.now + 0.2)        # intershard relay + push
+    assert len(cluster.policy) == 1
+    assert len(acl_entries(fabric, edge_of(fabric, src))) == 1
+    assert probe(sim, src, dst) == 0
+    assert probe(sim, dst, src) == 3
+
+    cluster.revoke_acl(src.ip, dst.ip)
+    sim.run(until=sim.now + 0.2)
+    assert acl_entries(fabric, edge_of(fabric, src)) == []
+    assert probe(sim, src, dst) == 3
+
+
+def test_cluster_repush_on_migration():
+    sim = Simulator(seed=97)
+    fabric = converged(sim, shards=4, hosts_per_edge=1)
+    cluster = fabric.fabric_manager
+    hosts = fabric.host_list()
+    src, dst = hosts[0], hosts[-1]
+    cluster.install_acl(src.ip, dst.ip)
+    sim.run(until=sim.now + 0.2)
+    old_edge = edge_of(fabric, src)
+
+    # Cross-pod move: the source's registry record changes owner shard,
+    # and the coordinator must still retract old + push new.
+    VmMigration(fabric, src.name, new_edge="edge-p2-s0", new_port=1,
+                downtime_s=0.1).start()
+    sim.run(until=sim.now + 1.5)
+
+    new_edge = edge_of(fabric, src)
+    assert new_edge != old_edge
+    assert acl_entries(fabric, old_edge) == []
+    assert len(acl_entries(fabric, new_edge)) == 1
+    assert probe(sim, src, dst) == 0

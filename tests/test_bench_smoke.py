@@ -72,7 +72,8 @@ def test_compiled_replay_beats_decision_replay():
 # BENCH_*.json artifact schema (see repro.metrics.benchout)
 
 #: Every `make bench-*` lane and the artifact it must commit.
-EXPECTED_BENCHES = ("sim_kernel", "flows", "hybrid", "topo", "parallel")
+EXPECTED_BENCHES = ("sim_kernel", "flows", "hybrid", "topo", "parallel",
+                    "policy")
 
 
 def test_bench_payload_roundtrip():
